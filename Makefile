@@ -1,0 +1,34 @@
+# Convenience targets for the Bulk reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples figures clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+examples:
+	@for example in examples/*.py; do \
+		echo "=== $$example ==="; \
+		$(PYTHON) $$example || exit 1; \
+	done
+
+# Regenerate a single figure/table, e.g. `make figure F=fig14`.
+figure:
+	$(PYTHON) -m pytest "benchmarks/bench_$(F)"*.py --benchmark-only -s
+
+clean:
+	find . -type d -name __pycache__ -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis

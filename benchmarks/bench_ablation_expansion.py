@@ -1,0 +1,93 @@
+"""Ablation — delta-directed expansion vs a naive full tag walk.
+
+Figure 4's motivation: bulk invalidation could naively membership-test
+every valid cache tag; instead, delta(S) selects only the relevant sets
+and the FSM walks those.  This ablation measures both the *work* (tags
+read) and the wall-clock of the two strategies on realistic register
+contents.
+"""
+
+import random
+
+from repro.analysis.report import render_table
+from repro.cache.cache import Cache
+from repro.cache.geometry import TM_L1_GEOMETRY
+from repro.core.decode import DeltaDecoder
+from repro.core.expansion import count_expansion_work, line_may_be_in
+from repro.core.signature import Signature
+from repro.core.signature_config import default_tm_config
+
+CONFIG = default_tm_config()
+RNG = random.Random(3)
+
+
+def build_state(write_set_lines: int):
+    cache = Cache(TM_L1_GEOMETRY)
+    # Fill the cache to capacity with clustered lines (committed data).
+    base = RNG.randrange(1 << 20)
+    filled = 0
+    while filled < 512:
+        cluster = RNG.randrange(1 << 24)
+        for offset in range(8):
+            line = (cluster + offset) & ((1 << 26) - 1)
+            if not cache.contains(line):
+                cache.fill(line, [0] * 16)
+                filled += 1
+    del base
+    # The committing write signature: clustered, Table 7-sized.
+    addresses = set()
+    while len(addresses) < write_set_lines:
+        cluster = RNG.randrange(1 << 24)
+        for offset in range(4):
+            addresses.add((cluster + offset) & ((1 << 26) - 1))
+    signature = Signature.from_addresses(CONFIG, addresses)
+    return cache, signature
+
+
+def naive_walk(signature: Signature, cache: Cache):
+    tags_read = 0
+    matched = 0
+    for line in cache.all_lines():
+        tags_read += 1
+        if line_may_be_in(signature, line.line_address):
+            matched += 1
+    return tags_read, matched
+
+
+def test_ablation_expansion_vs_full_walk(benchmark):
+    decoder = DeltaDecoder(CONFIG, TM_L1_GEOMETRY.num_sets)
+    cache, signature = build_state(write_set_lines=22)
+
+    benchmark(lambda: count_expansion_work(signature, cache, decoder))
+
+    rows = []
+    for write_set_lines in (6, 22, 64):
+        cache, signature = build_state(write_set_lines)
+        sets_walked, tags_directed, matched_directed = count_expansion_work(
+            signature, cache, decoder
+        )
+        tags_naive, matched_naive = naive_walk(signature, cache)
+        rows.append(
+            [
+                write_set_lines,
+                sets_walked,
+                tags_directed,
+                tags_naive,
+                tags_naive / max(1, tags_directed),
+                matched_directed,
+            ]
+        )
+        # Correctness: the directed walk finds every cached match.
+        assert matched_directed == matched_naive
+    print()
+    print(
+        render_table(
+            ["W lines", "Sets walked", "Tags (delta)", "Tags (naive)",
+             "Saving x", "Matches"],
+            rows,
+            title="Ablation: delta-directed expansion vs full tag walk "
+            "(Figure 4)",
+        )
+    )
+    # The directed walk must read strictly fewer tags for small W.
+    assert rows[0][2] < rows[0][3]

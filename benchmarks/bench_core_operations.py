@@ -1,0 +1,66 @@
+"""Microbenchmarks of the primitive bulk operations (Table 1).
+
+These time the software model itself (address insertion, intersection,
+membership, delta decode, RLE) — useful for tracking the simulator's
+own performance, not a paper result.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.geometry import TM_L1_GEOMETRY
+from repro.core.decode import DeltaDecoder
+from repro.core.expansion import expand_signature
+from repro.core.rle import rle_encode
+from repro.core.signature import Signature
+from repro.core.signature_config import default_tm_config
+
+CONFIG = default_tm_config()
+RNG = random.Random(5)
+ADDRESSES = [RNG.randrange(1 << 26) for _ in range(64)]
+
+
+@pytest.fixture(scope="module")
+def filled_signature():
+    return Signature.from_addresses(CONFIG, ADDRESSES)
+
+
+def test_bench_signature_insert(benchmark):
+    def insert():
+        signature = Signature(CONFIG)
+        for address in ADDRESSES:
+            signature.add(address)
+        return signature
+
+    benchmark(insert)
+
+
+def test_bench_intersection(benchmark, filled_signature):
+    other = Signature.from_addresses(CONFIG, ADDRESSES[:32])
+    benchmark(lambda: filled_signature.intersects(other))
+
+
+def test_bench_membership(benchmark, filled_signature):
+    benchmark(lambda: ADDRESSES[7] in filled_signature)
+
+
+def test_bench_delta_decode(benchmark, filled_signature):
+    decoder = DeltaDecoder(CONFIG, TM_L1_GEOMETRY.num_sets)
+    benchmark(lambda: decoder.decode(filled_signature))
+
+
+def test_bench_rle_encode(benchmark, filled_signature):
+    benchmark(lambda: rle_encode(filled_signature))
+
+
+def test_bench_expansion(benchmark, filled_signature):
+    cache = Cache(TM_L1_GEOMETRY)
+    for address in ADDRESSES:
+        if cache.lookup(address) is None:
+            cache.fill(address, tuple(range(16)))
+    decoder = DeltaDecoder(CONFIG, TM_L1_GEOMETRY.num_sets)
+    benchmark(
+        lambda: sum(1 for _ in expand_signature(filled_signature, cache, decoder))
+    )

@@ -1,0 +1,57 @@
+"""Figure 10 — TLS performance of Eager, Lazy, Bulk, BulkNoOverlap.
+
+Paper result: speedups over sequential execution on 4 processors;
+Bulk's geometric mean is ~5% below Eager, most of the gap opening
+between Eager and Lazy; BulkNoOverlap is ~17% below Bulk because
+SPECint tasks read live-ins their parent produced just before the
+spawn.
+"""
+
+from benchmarks.conftest import SEED, TLS_TASKS, geomean
+from repro.analysis.experiments import run_tls_comparison
+from repro.analysis.report import render_table
+
+SCHEMES = ["Eager", "Lazy", "Bulk", "BulkNoOverlap"]
+
+
+def test_fig10_tls_performance(benchmark, tls_results):
+    # The timed section: one representative full application run.
+    benchmark.pedantic(
+        lambda: run_tls_comparison(
+            "gzip", num_tasks=TLS_TASKS, seed=SEED, schemes=["Bulk"]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for app, comparison in sorted(tls_results.items()):
+        rows.append(
+            [app] + [comparison.speedup(scheme) for scheme in SCHEMES]
+        )
+    rows.append(
+        ["Geo.Mean"]
+        + [
+            geomean(c.speedup(scheme) for c in tls_results.values())
+            for scheme in SCHEMES
+        ]
+    )
+    print()
+    print(
+        render_table(
+            ["App"] + [f"TLS-{s}" for s in SCHEMES],
+            rows,
+            title="Figure 10: TLS speedup over sequential execution",
+        )
+    )
+
+    # Shape assertions (the paper's qualitative claims).
+    eager = geomean(c.speedup("Eager") for c in tls_results.values())
+    lazy = geomean(c.speedup("Lazy") for c in tls_results.values())
+    bulk = geomean(c.speedup("Bulk") for c in tls_results.values())
+    no_overlap = geomean(
+        c.speedup("BulkNoOverlap") for c in tls_results.values()
+    )
+    assert eager >= lazy >= bulk, "Eager >= Lazy >= Bulk ordering lost"
+    assert bulk >= 0.90 * eager, "Bulk should be within ~10% of Eager"
+    assert no_overlap < bulk, "Partial Overlap must help"

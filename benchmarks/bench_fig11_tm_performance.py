@@ -1,0 +1,51 @@
+"""Figure 11 — TM performance of Eager, Lazy, Bulk and Bulk-Partial.
+
+Paper result: speedups over Eager; Bulk ≈ Lazy everywhere; sjbb2k is
+faster under Lazy/Bulk than Eager (the Figure 12 pathologies);
+Bulk-Partial's partial rollback has minor impact.
+"""
+
+from benchmarks.conftest import SEED, TM_TXNS, geomean
+from repro.analysis.experiments import run_tm_comparison
+from repro.analysis.report import render_table
+
+SCHEMES = ["Eager", "Lazy", "Bulk", "Bulk-Partial"]
+
+
+def test_fig11_tm_performance(benchmark, tm_results):
+    benchmark.pedantic(
+        lambda: run_tm_comparison("mc", txns_per_thread=TM_TXNS, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for app, comparison in sorted(tm_results.items()):
+        rows.append(
+            [app]
+            + [comparison.speedup_over_eager(scheme) for scheme in SCHEMES]
+        )
+    rows.append(
+        ["Geo.Mean"]
+        + [
+            geomean(
+                c.speedup_over_eager(scheme) for c in tm_results.values()
+            )
+            for scheme in SCHEMES
+        ]
+    )
+    print()
+    print(
+        render_table(
+            ["App"] + SCHEMES,
+            rows,
+            title="Figure 11: TM speedup over Eager",
+        )
+    )
+
+    lazy = geomean(c.speedup_over_eager("Lazy") for c in tm_results.values())
+    bulk = geomean(c.speedup_over_eager("Bulk") for c in tm_results.values())
+    # Bulk and Lazy are approximately the same (the paper's claim).
+    assert abs(bulk - lazy) / lazy < 0.10
+    # sjbb2k prefers lazy conflict detection.
+    assert tm_results["sjbb2k"].speedup_over_eager("Lazy") > 1.0

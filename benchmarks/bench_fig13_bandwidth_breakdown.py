@@ -1,0 +1,48 @@
+"""Figure 13 — TM bandwidth breakdown (Inv/Coh/UB/WB/Fill) vs Eager.
+
+Paper result: Bulk's total bandwidth is in line with the other schemes —
+slightly above Lazy (extra fills from aliasing-induced squashes and
+invalidations), below Eager (whose per-store invalidations/upgrades add
+up).
+"""
+
+from benchmarks.conftest import geomean
+from repro.analysis.report import render_table
+
+CATEGORIES = ["Inv", "Coh", "UB", "WB", "Fill", "Total"]
+SCHEMES = ["Eager", "Lazy", "Bulk"]
+
+
+def test_fig13_bandwidth_breakdown(benchmark, tm_results):
+    def summarize():
+        rows = []
+        for app, comparison in sorted(tm_results.items()):
+            for scheme in SCHEMES:
+                breakdown = comparison.bandwidth_vs_eager(scheme)
+                rows.append(
+                    [app, scheme]
+                    + [breakdown[category] for category in CATEGORIES]
+                )
+        return rows
+
+    rows = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["App", "Scheme"] + [f"{c}%" for c in CATEGORIES],
+            rows,
+            title="Figure 13: bandwidth breakdown, % of Eager's total",
+        )
+    )
+
+    bulk_totals = [
+        comparison.bandwidth_vs_eager("Bulk")["Total"]
+        for comparison in tm_results.values()
+    ]
+    lazy_totals = [
+        comparison.bandwidth_vs_eager("Lazy")["Total"]
+        for comparison in tm_results.values()
+    ]
+    # Bulk's average total bandwidth is in the same ballpark as Lazy's
+    # (the paper: "only slightly higher than Lazy").
+    assert geomean(bulk_totals) < 1.6 * geomean(lazy_totals)

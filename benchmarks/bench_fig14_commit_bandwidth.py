@@ -1,0 +1,34 @@
+"""Figure 14 — commit bandwidth of Bulk normalised to Lazy.
+
+Paper result: Bulk's RLE-compressed signature commit packets use on
+average ~17% of Lazy's enumerated-address commit bandwidth (an 83%
+reduction).
+"""
+
+from repro.analysis.report import render_bars
+
+
+def test_fig14_commit_bandwidth(benchmark, tm_results):
+    def summarize():
+        return {
+            app: comparison.commit_bandwidth_vs_lazy()
+            for app, comparison in sorted(tm_results.items())
+        }
+
+    ratios = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    average = sum(ratios.values()) / len(ratios)
+    series = dict(ratios)
+    series["Avg"] = average
+    print()
+    print(
+        render_bars(
+            series,
+            title="Figure 14: Bulk commit bandwidth, % of Lazy",
+            unit="%",
+        )
+    )
+
+    # The signature packets must be a small fraction of enumeration.
+    assert 0 < average < 60, (
+        f"expected a large commit-bandwidth reduction, got {average:.0f}%"
+    )

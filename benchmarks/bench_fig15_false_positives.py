@@ -1,0 +1,51 @@
+"""Figure 15 — false-positive fraction per signature configuration.
+
+Paper result: the false-positive fraction of dependence-free bulk
+disambiguations decays quickly with signature size; within a size,
+configurations differ; bit permutations move accuracy substantially
+(the error segments), sometimes letting a smaller signature with a good
+permutation beat a bigger one.
+"""
+
+from repro.analysis.accuracy import sweep_signature_configs
+from repro.analysis.report import render_table
+from repro.core.signature_config import TABLE8_CONFIGS
+
+
+def test_fig15_false_positives(benchmark, fig15_samples):
+    rows = benchmark.pedantic(
+        lambda: sweep_signature_configs(
+            TABLE8_CONFIGS, fig15_samples, permutations_per_config=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"samples: {len(fig15_samples)} dependence-free disambiguations")
+    print(
+        render_table(
+            ["ID", "Size(b)", "FP%(bar)", "FP%(best)", "FP%(worst)"],
+            [
+                [
+                    row.name,
+                    row.full_size_bits,
+                    100.0 * row.fp_nominal,
+                    100.0 * row.fp_best,
+                    100.0 * row.fp_worst,
+                ]
+                for row in rows
+            ],
+            title="Figure 15: false positives in dependence-free "
+            "disambiguations",
+        )
+    )
+
+    by_name = {row.name: row for row in rows}
+    # Accuracy improves with size: the small configurations alias at
+    # least as much as the big ones (averaged over groups to tolerate
+    # per-configuration noise).
+    small = sum(by_name[n].fp_nominal for n in ("S1", "S2", "S3")) / 3
+    large = sum(by_name[n].fp_nominal for n in ("S19", "S22", "S23")) / 3
+    assert large <= small + 1e-9
+    for row in rows:
+        assert row.fp_best <= row.fp_nominal <= row.fp_worst

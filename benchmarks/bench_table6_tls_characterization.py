@@ -1,0 +1,59 @@
+"""Table 6 — characterisation of Bulk in TLS.
+
+Per application: average read/write/dependence set sizes in words,
+false-positive squash percentage and false invalidations per commit
+(aliasing), safe writebacks per task and Wr-Wr Set Restriction conflicts
+per 1000 tasks.
+"""
+
+from repro.analysis.report import render_table
+
+
+def test_table6_tls_characterization(benchmark, tls_results):
+    def summarize():
+        rows = []
+        for app, comparison in sorted(tls_results.items()):
+            stats = comparison.stats["Bulk"]
+            rows.append(
+                [
+                    app,
+                    stats.avg_read_set,
+                    stats.avg_write_set,
+                    stats.avg_dependence_set,
+                    stats.false_squash_percent,
+                    stats.false_invalidations_per_commit,
+                    stats.safe_writebacks_per_task,
+                    stats.wr_wr_conflicts_per_1k_tasks,
+                ]
+            )
+        count = len(rows)
+        rows.append(
+            ["Avg"]
+            + [sum(row[i] for row in rows) / count for i in range(1, 8)]
+        )
+        return rows
+
+    rows = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            [
+                "App", "RdSet(W)", "WrSet(W)", "DepSet(W)", "Sq(%)",
+                "FalseInv/Com", "SafeWB/Tsk", "WrWr/1kTsk",
+            ],
+            rows,
+            title="Table 6: characterisation of Bulk in TLS",
+        )
+    )
+
+    average = rows[-1]
+    # Table 6 shapes: read sets several times larger than write sets;
+    # dependence sets small; aliasing effects modest.
+    assert average[1] > average[2], "read sets should exceed write sets"
+    assert average[3] < average[1], "dependence sets are small"
+    assert average[4] < 60.0, "false-positive squash share out of range"
+
+    # Per-application footprints track the Table 6 profiles coarsely.
+    by_app = {row[0]: row for row in rows[:-1]}
+    assert by_app["crafty"][1] > by_app["gzip"][1]
+    assert by_app["mcf"][2] <= min(row[2] for row in rows[:-1]) + 1

@@ -1,0 +1,118 @@
+"""Table 7 — characterisation of Bulk in TM.
+
+Per application: read/write/dependence set sizes in lines, aliasing
+metrics, safe writebacks, and — the overflow story of Section 6.2.2 —
+Bulk's overflow-area accesses as a percentage of Lazy's.
+
+The 32 KB L1 of Table 5 absorbs these scaled-down workloads without
+spilling, so the overflow column is additionally measured under cache
+pressure (a 4 KB L1), where Bulk's membership filter can show its
+Table 7 advantage over Lazy's search-on-every-miss.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import SEED, TM_TXNS
+from repro.analysis.report import render_table
+from repro.cache.geometry import CacheGeometry
+from repro.tm.bulk import BulkScheme
+from repro.tm.lazy import LazyScheme
+from repro.tm.params import TM_DEFAULTS
+from repro.tm.system import TmSystem
+from repro.workloads.kernels import build_tm_workload
+
+#: A 2 KB, 4-way L1 (8 sets) — enough pressure to overflow.
+PRESSURED = CacheGeometry(size_bytes=2 * 1024, associativity=4)
+
+
+def overflow_under_pressure(app: str):
+    """(bulk accesses, lazy accesses) to the overflow area, 4 KB L1."""
+    params = replace(TM_DEFAULTS, geometry=PRESSURED)
+    counts = {}
+    for name, scheme in (("Lazy", LazyScheme()), ("Bulk", BulkScheme())):
+        traces = build_tm_workload(
+            app, num_threads=8, txns_per_thread=max(4, TM_TXNS // 2),
+            seed=SEED,
+        )
+        result = TmSystem(traces, scheme, params).run()
+        counts[name] = result.stats.overflow_area_accesses
+    return counts["Bulk"], counts["Lazy"]
+
+
+def test_table7_tm_characterization(benchmark, tm_results):
+    def summarize():
+        rows = []
+        for app, comparison in sorted(tm_results.items()):
+            bulk = comparison.stats["Bulk"]
+            lazy = comparison.stats["Lazy"]
+            if lazy.overflow_area_accesses:
+                overflow_ratio = (
+                    100.0
+                    * bulk.overflow_area_accesses
+                    / lazy.overflow_area_accesses
+                )
+            else:
+                overflow_ratio = 0.0
+            rows.append(
+                [
+                    app,
+                    bulk.avg_read_set,
+                    bulk.avg_write_set,
+                    bulk.avg_dependence_set,
+                    bulk.false_squash_percent,
+                    bulk.false_invalidations_per_commit,
+                    bulk.safe_writebacks_per_txn,
+                    overflow_ratio,
+                ]
+            )
+        count = len(rows)
+        rows.append(
+            ["Avg"]
+            + [sum(row[i] for row in rows) / count for i in range(1, 8)]
+        )
+        return rows
+
+    rows = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            [
+                "App", "RdSet(L)", "WrSet(L)", "DepSet(L)", "Sq(%)",
+                "FalseInv/Com", "SafeWB/Tr", "Ovf B/L(%)",
+            ],
+            rows,
+            title="Table 7: characterisation of Bulk in TM",
+        )
+    )
+
+    average = rows[-1]
+    assert average[1] > average[2], "read sets should exceed write sets"
+    assert average[3] < average[2], "dependence sets are small"
+    assert average[4] < 60.0, "false-positive squash share out of range"
+
+
+def test_table7_overflow_under_pressure(benchmark):
+    """The Section 6.2.2 overflow comparison, with a 2 KB L1."""
+    apps = ["cb", "sjbb2k"]
+    results = benchmark.pedantic(
+        lambda: {app: overflow_under_pressure(app) for app in apps},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for app, (bulk, lazy) in results.items():
+        ratio = 100.0 * bulk / lazy if lazy else 0.0
+        rows.append([app, bulk, lazy, ratio])
+    print()
+    print(
+        render_table(
+            ["App", "Bulk ovf", "Lazy ovf", "Bulk/Lazy (%)"],
+            rows,
+            title="Table 7 (overflow column), 2 KB L1 pressure run",
+        )
+    )
+    for app, (bulk, lazy) in results.items():
+        assert lazy > 0, f"{app}: expected overflow under a 4 KB L1"
+        # Bulk's membership filter must cut overflow-area traffic well
+        # below Lazy's search-on-every-miss (Table 7: ~4% on average).
+        assert bulk < 0.7 * lazy, f"{app}: Bulk filter ineffective"

@@ -1,0 +1,78 @@
+"""Shared, session-scoped experiment runs for the benchmark harness.
+
+Every table and figure of the paper's evaluation draws on the same two
+sweeps (all TM applications under every scheme; all TLS applications
+under every scheme), so they are executed once per benchmark session and
+shared across the per-figure benchmark modules.
+
+Scale knobs (environment variables):
+
+``BULK_BENCH_TM_TXNS``
+    Transactions per thread for the TM sweep (default 10).
+``BULK_BENCH_TLS_TASKS``
+    Tasks per application for the TLS sweep (default 120).
+``BULK_BENCH_SEED``
+    Workload seed (default 42).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis.accuracy import collect_tm_samples
+from repro.analysis.experiments import (
+    TlsComparison,
+    TmComparison,
+    run_tls_comparison,
+    run_tm_comparison,
+)
+from repro.workloads.kernels import TM_KERNELS
+from repro.workloads.tls_spec import TLS_APPLICATIONS
+
+TM_TXNS = int(os.environ.get("BULK_BENCH_TM_TXNS", "10"))
+TLS_TASKS = int(os.environ.get("BULK_BENCH_TLS_TASKS", "120"))
+SEED = int(os.environ.get("BULK_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def tm_results() -> Dict[str, TmComparison]:
+    """Every TM application under Eager, Lazy, Bulk and Bulk-Partial."""
+    return {
+        app: run_tm_comparison(
+            app,
+            txns_per_thread=TM_TXNS,
+            seed=SEED,
+            include_partial=True,
+        )
+        for app in sorted(TM_KERNELS)
+    }
+
+
+@pytest.fixture(scope="session")
+def tls_results() -> Dict[str, TlsComparison]:
+    """Every TLS application under Eager, Lazy, Bulk and BulkNoOverlap."""
+    return {
+        app: run_tls_comparison(app, num_tasks=TLS_TASKS, seed=SEED)
+        for app in sorted(TLS_APPLICATIONS)
+    }
+
+
+@pytest.fixture(scope="session")
+def fig15_samples() -> List:
+    """Dependence-free disambiguation samples for the accuracy study."""
+    return collect_tm_samples(
+        txns_per_thread=max(4, TM_TXNS // 2),
+        seed=SEED,
+        max_samples_per_app=250,
+    )
+
+
+def geomean(values):
+    """Geometric mean (the paper's summary statistic)."""
+    import math
+
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))

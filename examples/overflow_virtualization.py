@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Virtualising speculative state: overflow areas (Section 6.2.2).
+
+A transaction whose footprint exceeds the cache spills dirty speculative
+lines to an in-memory overflow area.  Conventional schemes (Lazy here)
+must search that area on every subsequent miss and walk its addresses
+when other transactions commit; Bulk keeps disambiguating on signatures
+alone and screens misses with the membership test ``a ∈ W``, touching
+the area only when the test passes.
+
+This example runs the same cache-crushing workload under Lazy and Bulk
+with a deliberately tiny (2 KB) L1 and reports the overflow-area access
+counts — the Table 7 "Overflow" comparison in miniature.
+
+Run:  python examples/overflow_virtualization.py
+"""
+
+from dataclasses import replace
+
+from repro.cache.geometry import CacheGeometry
+from repro.sim.trace import ThreadTrace, compute, load, store, tx_begin, tx_end
+from repro.tm.bulk import BulkScheme
+from repro.tm.lazy import LazyScheme
+from repro.tm.params import TM_DEFAULTS
+from repro.tm.system import TmSystem
+
+TINY_L1 = CacheGeometry(size_bytes=2 * 1024, associativity=4)  # 8 sets
+
+
+def build_traces(num_threads=4, txns=6):
+    """Each transaction writes 24 scattered lines (3x the per-set
+    capacity of the tiny cache) and then misses on 30 unrelated lines."""
+    traces = []
+    for tid in range(num_threads):
+        events = []
+        for txn_index in range(txns):
+            events.append(tx_begin())
+            base = 0x100000 + (tid * txns + txn_index) * 0x40000
+            for i in range(24):
+                events.append(store(base + i * 0x1040, tid * 100 + i))
+            for i in range(30):
+                events.append(load(base + 0x20000 + i * 0x1040))
+            events.append(compute(50))
+            events.append(tx_end())
+            events.append(compute(20))
+        traces.append(ThreadTrace(tid, events))
+    return traces
+
+
+def main() -> None:
+    params = replace(TM_DEFAULTS, geometry=TINY_L1, num_processors=4)
+    print(f"L1: {TINY_L1.size_bytes} B, {TINY_L1.num_sets} sets x "
+          f"{TINY_L1.associativity} ways "
+          f"({TINY_L1.num_sets * TINY_L1.associativity} lines)\n")
+    print(f"{'scheme':8s} {'commits':>8s} {'ovf accesses':>13s} "
+          f"{'ovf txns':>9s} {'UB bytes':>9s}")
+    results = {}
+    for scheme_cls in (LazyScheme, BulkScheme):
+        result = TmSystem(build_traces(), scheme_cls(), params).run()
+        stats = result.stats
+        results[result.scheme] = stats.overflow_area_accesses
+        from repro.coherence.message import BandwidthCategory
+
+        print(
+            f"{result.scheme:8s} {stats.committed_transactions:8d} "
+            f"{stats.overflow_area_accesses:13d} "
+            f"{stats.overflowed_transactions:9d} "
+            f"{stats.bandwidth.category_bytes(BandwidthCategory.UB):9d}"
+        )
+    ratio = 100.0 * results["Bulk"] / results["Lazy"]
+    print(f"\nBulk touches the overflow area {ratio:.0f}% as often as Lazy "
+          "(Table 7's Overflow column; the floor is the spill traffic "
+          "itself, which both schemes share).")
+    assert results["Bulk"] < results["Lazy"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""Signature size-vs-accuracy study (Section 7.5, Figure 15, Table 8).
+
+The paper's methodology: run the TM applications, sample every bulk
+address disambiguation event *known* (by exact information) to have no
+dependence, and measure how often each signature configuration reports
+one anyway — the false-positive fraction.  Bars use no initial bit
+permutation; error segments sweep permutations, best and worst.
+
+The sampling here reuses the same mechanism: exact Lazy runs record
+``(W_C, R_R, W_R)`` address-set triples whose exact intersection is
+empty; configurations are then evaluated *offline* against the recorded
+samples, which keeps the sweep over 23 configurations × many
+permutations cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.permutation import BitPermutation
+from repro.core.rle import rle_size_bits
+from repro.core.signature import Signature
+from repro.core.signature_config import SignatureConfig
+from repro.sim.rng import SubstreamRng
+from repro.tm.lazy import LazyScheme
+from repro.tm.params import TM_DEFAULTS, TmParams
+from repro.tm.system import DisambiguationSample, TmSystem
+from repro.workloads.kernels import TM_KERNELS, build_tm_workload
+
+
+def collect_tm_samples(
+    apps: Optional[Sequence[str]] = None,
+    txns_per_thread: int = 10,
+    seed: int = 7,
+    params: TmParams = TM_DEFAULTS,
+    max_samples_per_app: int = 1500,
+) -> List[DisambiguationSample]:
+    """Collect dependence-free disambiguation samples from TM runs."""
+    if apps is None:
+        apps = sorted(TM_KERNELS)
+    samples: List[DisambiguationSample] = []
+    for app in apps:
+        traces = build_tm_workload(
+            app,
+            num_threads=params.num_processors,
+            txns_per_thread=txns_per_thread,
+            seed=seed,
+        )
+        system = TmSystem(
+            traces,
+            LazyScheme(),
+            params,
+            collect_samples=True,
+            max_samples=max_samples_per_app,
+        )
+        result = system.run()
+        samples.extend(
+            sample for sample in result.samples if sample[0]
+        )
+    return samples
+
+
+def false_positive_fraction(
+    config: SignatureConfig,
+    samples: Sequence[DisambiguationSample],
+) -> float:
+    """Fraction of known-dependence-free samples where Equation 1 fires.
+
+    Each sample's address sets are already at the configuration's
+    granularity (line addresses, from the TM runs).
+    """
+    if not samples:
+        return 0.0
+    false_positives = 0
+    for committed_writes, receiver_reads, receiver_writes in samples:
+        w_c = Signature.from_addresses(config, committed_writes)
+        r_r = Signature.from_addresses(config, receiver_reads)
+        w_r = Signature.from_addresses(config, receiver_writes)
+        if w_c.intersects(r_r) or w_c.intersects(w_r):
+            false_positives += 1
+    return false_positives / len(samples)
+
+
+def average_compressed_bits(
+    config: SignatureConfig,
+    samples: Sequence[DisambiguationSample],
+) -> float:
+    """Average RLE-compressed size of the committed write signatures —
+    Table 8's *Compressed Size* column, measured on this workload."""
+    if not samples:
+        return 0.0
+    total = 0
+    for committed_writes, _, _ in samples:
+        total += rle_size_bits(Signature.from_addresses(config, committed_writes))
+    return total / len(samples)
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """One configuration's Figure 15 / Table 8 measurements."""
+
+    name: str
+    full_size_bits: int
+    avg_compressed_bits: float
+    #: False-positive fraction with no initial permutation (the bar).
+    fp_nominal: float
+    #: Best / worst over the permutation sweep (the error segment).
+    fp_best: float
+    fp_worst: float
+
+
+def sweep_signature_configs(
+    configs: Dict[str, SignatureConfig],
+    samples: Sequence[DisambiguationSample],
+    permutations_per_config: int = 4,
+    seed: int = 11,
+) -> List[AccuracyRow]:
+    """Evaluate each configuration bare and under random permutations.
+
+    Matches Figure 15's structure: the nominal (no-permutation) fraction
+    per configuration plus the min/max over a permutation sweep.
+    """
+    rng = SubstreamRng(seed)
+    rows: List[AccuracyRow] = []
+    for name in sorted(configs, key=lambda n: (len(n), n)):
+        config = configs[name]
+        nominal = false_positive_fraction(config, samples)
+        fractions = [nominal]
+        for index in range(permutations_per_config):
+            permutation = BitPermutation.shuffled(
+                config.granularity.address_bits,
+                rng.stream("figure15", name, index),
+            )
+            fractions.append(
+                false_positive_fraction(
+                    config.with_permutation(permutation), samples
+                )
+            )
+        rows.append(
+            AccuracyRow(
+                name=name,
+                full_size_bits=config.size_bits,
+                avg_compressed_bits=average_compressed_bits(config, samples),
+                fp_nominal=nominal,
+                fp_best=min(fractions),
+                fp_worst=max(fractions),
+            )
+        )
+    return rows

@@ -1,0 +1,42 @@
+"""Bandwidth normalisation (Figures 13 and 14).
+
+Figure 13 stacks each scheme's traffic by category, normalised to the
+*Eager* total for the same application; Figure 14 reports Bulk's commit
+bandwidth as a percentage of Lazy's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.coherence.bus import BandwidthBreakdown
+from repro.coherence.message import BandwidthCategory
+
+
+def normalized_breakdown(
+    breakdown: BandwidthBreakdown, baseline_total_bytes: int
+) -> Dict[str, float]:
+    """Per-category percentages of a baseline scheme's total bytes.
+
+    Returns a mapping ``{"Inv": ..., "Coh": ..., "UB": ..., "WB": ...,
+    "Fill": ..., "Total": ...}`` in percent of ``baseline_total_bytes``.
+    """
+    if baseline_total_bytes <= 0:
+        raise ValueError("baseline total must be positive")
+    result = {
+        category.value: 100.0
+        * breakdown.category_bytes(category)
+        / baseline_total_bytes
+        for category in BandwidthCategory
+    }
+    result["Total"] = 100.0 * breakdown.total_bytes / baseline_total_bytes
+    return result
+
+
+def commit_bandwidth_ratio(
+    bulk: BandwidthBreakdown, lazy: BandwidthBreakdown
+) -> float:
+    """Bulk commit bytes as a percentage of Lazy commit bytes (Fig. 14)."""
+    if lazy.commit_bytes <= 0:
+        return 0.0
+    return 100.0 * bulk.commit_bytes / lazy.commit_bytes

@@ -1,0 +1,149 @@
+"""End-to-end experiment drivers for the TM and TLS comparisons.
+
+These are the functions the ``benchmarks/`` harness calls: each runs one
+application under every scheme with shared parameters and returns the
+measurements that feed the corresponding table or figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.bandwidth import commit_bandwidth_ratio, normalized_breakdown
+from repro.tls.bulk import TlsBulkScheme
+from repro.tls.eager import TlsEagerScheme
+from repro.tls.lazy import TlsLazyScheme
+from repro.tls.params import TLS_DEFAULTS, TlsParams
+from repro.tls.stats import TlsStats
+from repro.tls.system import TlsSystem, simulate_sequential
+from repro.tm.bulk import BulkScheme
+from repro.tm.eager import EagerScheme
+from repro.tm.lazy import LazyScheme
+from repro.tm.params import TM_DEFAULTS, TmParams
+from repro.tm.stats import TmStats
+from repro.tm.system import DisambiguationSample, TmSystem
+from repro.workloads.kernels import build_tm_workload
+from repro.workloads.tls_spec import build_tls_workload
+
+
+@dataclass
+class TmComparison:
+    """One application's results under Eager, Lazy, Bulk (and optionally
+    Bulk-Partial) — the raw material for Figure 11, Table 7, Figures 13/14.
+    """
+
+    app: str
+    cycles: Dict[str, int] = field(default_factory=dict)
+    stats: Dict[str, TmStats] = field(default_factory=dict)
+    samples: List[DisambiguationSample] = field(default_factory=list)
+
+    def speedup_over_eager(self, scheme: str) -> float:
+        """Figure 11's metric."""
+        return self.cycles["Eager"] / self.cycles[scheme]
+
+    def bandwidth_vs_eager(self, scheme: str) -> Dict[str, float]:
+        """Figure 13's metric: category percentages of Eager's total."""
+        return normalized_breakdown(
+            self.stats[scheme].bandwidth,
+            self.stats["Eager"].bandwidth.total_bytes,
+        )
+
+    def commit_bandwidth_vs_lazy(self) -> float:
+        """Figure 14's metric."""
+        return commit_bandwidth_ratio(
+            self.stats["Bulk"].bandwidth, self.stats["Lazy"].bandwidth
+        )
+
+
+def run_tm_comparison(
+    app: str,
+    txns_per_thread: int = 12,
+    seed: int = 42,
+    params: TmParams = TM_DEFAULTS,
+    include_partial: bool = False,
+    collect_samples: bool = False,
+) -> TmComparison:
+    """Run one TM application under every scheme.
+
+    ``include_partial`` additionally runs Bulk with closed-nesting
+    partial rollback enabled (the Bulk-Partial bar of Figure 11); it only
+    differs from plain Bulk when the workload nests transactions.
+    """
+    comparison = TmComparison(app=app)
+    schemes = [("Eager", EagerScheme()), ("Lazy", LazyScheme()), ("Bulk", BulkScheme())]
+    for name, scheme in schemes:
+        traces = build_tm_workload(
+            app,
+            num_threads=params.num_processors,
+            txns_per_thread=txns_per_thread,
+            seed=seed,
+        )
+        system = TmSystem(
+            traces,
+            scheme,
+            params,
+            collect_samples=collect_samples and name == "Lazy",
+        )
+        result = system.run()
+        comparison.cycles[name] = result.cycles
+        comparison.stats[name] = result.stats
+        if result.samples:
+            comparison.samples = result.samples
+    if include_partial:
+        from dataclasses import replace
+
+        partial_params = replace(params, partial_rollback=True)
+        traces = build_tm_workload(
+            app,
+            num_threads=params.num_processors,
+            txns_per_thread=txns_per_thread,
+            seed=seed,
+        )
+        result = TmSystem(traces, BulkScheme(), partial_params).run()
+        comparison.cycles["Bulk-Partial"] = result.cycles
+        comparison.stats["Bulk-Partial"] = result.stats
+    return comparison
+
+
+@dataclass
+class TlsComparison:
+    """One application's results under the four TLS configurations —
+    the raw material for Figure 10 and Table 6."""
+
+    app: str
+    sequential_cycles: int = 0
+    cycles: Dict[str, int] = field(default_factory=dict)
+    stats: Dict[str, TlsStats] = field(default_factory=dict)
+
+    def speedup(self, scheme: str) -> float:
+        """Figure 10's metric: speedup over sequential execution."""
+        return self.sequential_cycles / self.cycles[scheme]
+
+
+def run_tls_comparison(
+    app: str,
+    num_tasks: int = 160,
+    seed: int = 42,
+    params: TlsParams = TLS_DEFAULTS,
+    schemes: Optional[List[str]] = None,
+) -> TlsComparison:
+    """Run one TLS application under Eager / Lazy / Bulk / BulkNoOverlap."""
+    if schemes is None:
+        schemes = ["Eager", "Lazy", "Bulk", "BulkNoOverlap"]
+    factories = {
+        "Eager": TlsEagerScheme,
+        "Lazy": TlsLazyScheme,
+        "Bulk": lambda: TlsBulkScheme(partial_overlap=True),
+        "BulkNoOverlap": lambda: TlsBulkScheme(partial_overlap=False),
+    }
+    comparison = TlsComparison(app=app)
+    tasks = build_tls_workload(app, num_tasks=num_tasks, seed=seed)
+    comparison.sequential_cycles = simulate_sequential(tasks, params)
+    for name in schemes:
+        tasks = build_tls_workload(app, num_tasks=num_tasks, seed=seed)
+        result = TlsSystem(tasks, factories[name](), params).run()
+        result.stats.sequential_cycles = comparison.sequential_cycles
+        comparison.cycles[name] = result.cycles
+        comparison.stats[name] = result.stats
+    return comparison

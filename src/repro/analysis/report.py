@@ -1,0 +1,87 @@
+"""Plain-text rendering of tables and bar charts.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; these helpers keep that output consistent and
+readable in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A fixed-width ASCII table."""
+    table: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in table:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append(separator)
+    for row in table:
+        lines.append(
+            " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_csv(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """The same table as comma-separated values (machine-readable).
+
+    Floats keep full precision here — the ASCII renderer rounds for
+    humans, the CSV is for downstream tooling.
+    """
+    def cell(value: object) -> str:
+        text = repr(value) if isinstance(value, float) else str(value)
+        if "," in text or '"' in text:
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(cell(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(cell(c) for c in row))
+    return "\n".join(lines)
+
+
+def render_bars(
+    series: Dict[str, Number],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """A horizontal ASCII bar chart (one bar per key)."""
+    if not series:
+        return title
+    peak = max(abs(float(v)) for v in series.values()) or 1.0
+    label_width = max(len(label) for label in series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in series.items():
+        bar = "#" * max(1, int(round(width * abs(float(value)) / peak)))
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {float(value):.2f}{unit}"
+        )
+    return "\n".join(lines)

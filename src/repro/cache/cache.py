@@ -1,0 +1,155 @@
+"""The set-associative write-back cache.
+
+The cache is a passive structure: it answers lookups, accepts fills, and
+reports evictions.  *Where* evicted dirty data goes (memory or a
+speculative overflow area) and *whether* an access is legal (Set
+Restriction, speculative-data nacks) are decided by the layer above — the
+BDM plus the protocol glue — exactly as in the paper's hardware split.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Sequence
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.line import CacheLine
+from repro.cache.stats import CacheStats
+from repro.errors import SimulationError
+
+
+class Cache:
+    """A set-associative, write-back, write-allocate cache with LRU."""
+
+    __slots__ = ("geometry", "stats", "_sets")
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.stats = CacheStats()
+        # One OrderedDict per set: line_address -> CacheLine, most recently
+        # used last.
+        self._sets: List["OrderedDict[int, CacheLine]"] = [
+            OrderedDict() for _ in range(geometry.num_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def set_index(self, line_address: int) -> int:
+        """Set index of a line address."""
+        return self.geometry.set_index(line_address)
+
+    def lookup(self, line_address: int, touch: bool = True) -> Optional[CacheLine]:
+        """Find a line; optionally refresh its LRU position."""
+        cache_set = self._sets[self.set_index(line_address)]
+        line = cache_set.get(line_address)
+        if line is not None and touch:
+            cache_set.move_to_end(line_address)
+        return line
+
+    def contains(self, line_address: int) -> bool:
+        """Presence test without touching LRU state."""
+        return line_address in self._sets[self.set_index(line_address)]
+
+    # ------------------------------------------------------------------
+    # Fill and eviction
+    # ------------------------------------------------------------------
+
+    def fill(
+        self,
+        line_address: int,
+        words: Sequence[int],
+        dirty: bool = False,
+    ) -> Optional[CacheLine]:
+        """Insert a line, evicting the LRU victim if the set is full.
+
+        Returns the evicted line (the caller decides where its data goes),
+        or ``None`` if no eviction was needed.  Filling an already-present
+        line is an error — callers must use :meth:`lookup` first.
+        """
+        index = self.set_index(line_address)
+        cache_set = self._sets[index]
+        if line_address in cache_set:
+            raise SimulationError(
+                f"fill of line 0x{line_address:x} already present in set {index}"
+            )
+        victim: Optional[CacheLine] = None
+        if len(cache_set) >= self.geometry.associativity:
+            _, victim = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+        cache_set[line_address] = CacheLine(line_address, words, dirty)
+        self.stats.fills += 1
+        return victim
+
+    def victim_if_full(self, line_address: int) -> Optional[CacheLine]:
+        """Peek at the line that :meth:`fill` would evict, without evicting.
+
+        The BDM uses this to apply the Set Restriction *before* a fill
+        happens (e.g. to write back a non-speculative dirty victim).
+        """
+        cache_set = self._sets[self.set_index(line_address)]
+        if line_address in cache_set or len(cache_set) < self.geometry.associativity:
+            return None
+        return next(iter(cache_set.values()))
+
+    def invalidate(self, line_address: int) -> Optional[CacheLine]:
+        """Remove a line, returning it (or ``None`` if absent)."""
+        cache_set = self._sets[self.set_index(line_address)]
+        line = cache_set.pop(line_address, None)
+        if line is not None:
+            self.stats.invalidations += 1
+        return line
+
+    def clean(self, line_address: int) -> None:
+        """Clear a line's dirty bit (after a writeback or downgrade)."""
+        line = self.lookup(line_address, touch=False)
+        if line is None:
+            raise SimulationError(
+                f"clean of absent line 0x{line_address:x}"
+            )
+        line.dirty = False
+
+    # ------------------------------------------------------------------
+    # Iteration (used by signature expansion and the protocol glue)
+    # ------------------------------------------------------------------
+
+    def lines_in_set(self, set_index: int) -> List[CacheLine]:
+        """All valid lines in one set (a stable snapshot list).
+
+        Returning a list, not a view, lets callers invalidate lines while
+        iterating — exactly what bulk invalidation does.
+        """
+        return list(self._sets[set_index].values())
+
+    def dirty_lines_in_set(self, set_index: int) -> List[CacheLine]:
+        """The dirty lines of one set."""
+        return [line for line in self._sets[set_index].values() if line.dirty]
+
+    def all_lines(self) -> Iterator[CacheLine]:
+        """Every valid line in the cache."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def valid_line_count(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def flush_all(self) -> List[CacheLine]:
+        """Drop every line, returning the dirty ones (for writeback)."""
+        dirty: List[CacheLine] = []
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                if line.dirty:
+                    dirty.append(line)
+            cache_set.clear()
+        return dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.geometry.size_bytes // 1024} KB, "
+            f"{self.geometry.associativity}-way, "
+            f"{self.valid_line_count()} lines valid)"
+        )

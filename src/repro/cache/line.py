@@ -1,0 +1,51 @@
+"""A single cache line: tag, data words, dirty bit — nothing else.
+
+Note what is *absent*: no speculative bit, no version ID, no per-word
+read/write bits.  Bulk keeps the cache identical to a non-speculative
+design; which dirty lines are speculative, and whose they are, is derived
+from the BDM's decoded write-signature bitmasks (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.mem.address import WORDS_PER_LINE, word_offset_in_line
+
+
+class CacheLine:
+    """One valid cache line.  Invalid lines are simply absent from the set."""
+
+    __slots__ = ("line_address", "words", "dirty")
+
+    def __init__(
+        self,
+        line_address: int,
+        words: Sequence[int],
+        dirty: bool = False,
+    ) -> None:
+        if len(words) != WORDS_PER_LINE:
+            raise ConfigurationError(
+                f"a line holds {WORDS_PER_LINE} words, got {len(words)}"
+            )
+        self.line_address = line_address
+        self.words: List[int] = list(words)
+        self.dirty = dirty
+
+    def read_word(self, word_address: int) -> int:
+        """Value of one word of this line."""
+        return self.words[word_offset_in_line(word_address)]
+
+    def write_word(self, word_address: int, value: int) -> None:
+        """Update one word and mark the line dirty."""
+        self.words[word_offset_in_line(word_address)] = value & 0xFFFFFFFF
+        self.dirty = True
+
+    def snapshot_words(self) -> tuple:
+        """Immutable copy of the data (for writeback / spill)."""
+        return tuple(self.words)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "dirty" if self.dirty else "clean"
+        return f"CacheLine(0x{self.line_address:x}, {state})"

@@ -1,0 +1,52 @@
+"""Cache statistics counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Mutable counters accumulated by one :class:`~repro.cache.Cache`."""
+
+    loads: int = 0
+    stores: int = 0
+    load_hits: int = 0
+    store_hits: int = 0
+    fills: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total loads plus stores."""
+        return self.loads + self.stores
+
+    @property
+    def hits(self) -> int:
+        """Total hits."""
+        return self.load_hits + self.store_hits
+
+    @property
+    def misses(self) -> int:
+        """Total misses."""
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit rate in [0, 1]; zero when there were no accesses."""
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.loads = 0
+        self.stores = 0
+        self.load_hits = 0
+        self.store_hits = 0
+        self.fills = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.invalidations = 0

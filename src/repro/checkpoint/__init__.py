@@ -1,0 +1,20 @@
+"""Checkpointed execution on Bulk signatures.
+
+The paper's third motivating environment (Section 1): "Checkpointed
+multiprocessors provide primitives to enable aggressive thread
+speculation", and Figure 7 notes the BDM's version contexts are "useful
+for buffering the state of multiple threads or multiple checkpoints".
+
+:class:`~repro.checkpoint.processor.CheckpointedProcessor` implements
+that use: each checkpoint owns a BDM version context; stores update the
+cache speculatively under the Set Restriction; rolling back to a
+checkpoint bulk-invalidates the discarded contexts' dirty lines (safe by
+delta-exactness, as in a squash) and replays nothing; committing the
+oldest checkpoint makes its log architectural and gang-clears its
+signatures — the same primitives TM and TLS are built from, composed
+differently.
+"""
+
+from repro.checkpoint.processor import Checkpoint, CheckpointedProcessor
+
+__all__ = ["Checkpoint", "CheckpointedProcessor"]

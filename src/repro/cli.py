@@ -1,0 +1,306 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro list
+    python -m repro tm sjbb2k --txns 10
+    python -m repro tls crafty --tasks 120
+    python -m repro accuracy --samples 300
+    python -m repro fig12
+
+Each subcommand prints the same rows the corresponding benchmark module
+regenerates; the CLI is a thin, scriptable wrapper over
+:mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.accuracy import collect_tm_samples, sweep_signature_configs
+from repro.analysis.experiments import run_tls_comparison, run_tm_comparison
+from repro.analysis.report import render_bars, render_csv, render_table
+from repro.core.signature_config import TABLE8_CONFIGS
+from repro.workloads.kernels import TM_KERNELS
+from repro.workloads.tls_spec import TLS_APPLICATIONS
+
+TM_SCHEMES = ["Eager", "Lazy", "Bulk"]
+TLS_SCHEMES = ["Eager", "Lazy", "Bulk", "BulkNoOverlap"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("TM workloads (Table 4):   " + " ".join(sorted(TM_KERNELS)))
+    print("TLS workloads (Table 6):  " + " ".join(sorted(TLS_APPLICATIONS)))
+    print("Signatures (Table 8):     S1 .. S23")
+    return 0
+
+
+def _cmd_tm(args: argparse.Namespace) -> int:
+    comparison = run_tm_comparison(
+        args.app,
+        txns_per_thread=args.txns,
+        seed=args.seed,
+        include_partial=args.partial,
+    )
+    schemes = TM_SCHEMES + (["Bulk-Partial"] if args.partial else [])
+    rows = []
+    for scheme in schemes:
+        stats = comparison.stats[scheme]
+        rows.append(
+            [
+                scheme,
+                comparison.cycles[scheme],
+                comparison.speedup_over_eager(scheme),
+                stats.committed_transactions,
+                stats.squashes,
+                stats.false_positive_squashes,
+                stats.bandwidth.commit_bytes,
+            ]
+        )
+    print(
+        render_table(
+            ["Scheme", "Cycles", "vs Eager", "Commits", "Squashes",
+             "FalseSq", "CommitB"],
+            rows,
+            title=f"TM: {args.app}",
+        )
+    )
+    print(f"\ncommit bandwidth Bulk/Lazy: "
+          f"{comparison.commit_bandwidth_vs_lazy():.1f}%")
+    return 0
+
+
+def _cmd_tls(args: argparse.Namespace) -> int:
+    comparison = run_tls_comparison(
+        args.app, num_tasks=args.tasks, seed=args.seed
+    )
+    rows = []
+    for scheme in TLS_SCHEMES:
+        stats = comparison.stats[scheme]
+        rows.append(
+            [
+                scheme,
+                comparison.cycles[scheme],
+                comparison.speedup(scheme),
+                stats.squashes,
+                stats.false_positive_squashes,
+                stats.merged_lines,
+            ]
+        )
+    print(
+        render_table(
+            ["Scheme", "Cycles", "Speedup", "Squashes", "FalseSq", "Merged"],
+            rows,
+            title=(
+                f"TLS: {args.app} "
+                f"(sequential {comparison.sequential_cycles} cycles)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    samples = collect_tm_samples(
+        txns_per_thread=args.txns,
+        seed=args.seed,
+        max_samples_per_app=args.samples,
+    )
+    print(f"{len(samples)} dependence-free disambiguation samples")
+    rows = sweep_signature_configs(
+        TABLE8_CONFIGS, samples, permutations_per_config=args.permutations
+    )
+    series = {row.name: 100.0 * row.fp_nominal for row in rows}
+    print(render_bars(series, title="false positives (%)", unit="%"))
+    return 0
+
+
+def _cmd_fig12(_args: argparse.Namespace) -> int:
+    # Reuse the benchmark module's scenario builder.
+    sys.path.insert(0, "benchmarks")
+    try:
+        from bench_fig12_eager_pathologies import run_all_cases
+    except ImportError:
+        print("run from the repository root (benchmarks/ must be present)",
+              file=sys.stderr)
+        return 1
+    results, *_ = run_all_cases()
+    for case, outcome in results.items():
+        print(f"{case:24s} {outcome}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run the whole evaluation and archive tables + CSVs to a directory."""
+    import pathlib
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (out / name).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {out / name}")
+
+    # Figure 10 / Table 6 --------------------------------------------------
+    tls = {
+        app: run_tls_comparison(app, num_tasks=args.tls_tasks, seed=args.seed)
+        for app in sorted(TLS_APPLICATIONS)
+    }
+    fig10_headers = ["App", "Eager", "Lazy", "Bulk", "BulkNoOverlap"]
+    fig10_rows = [
+        [app] + [c.speedup(s) for s in fig10_headers[1:]]
+        for app, c in tls.items()
+    ]
+    write("fig10.txt", render_table(fig10_headers, fig10_rows,
+                                    "Figure 10: TLS speedups"))
+    write("fig10.csv", render_csv(fig10_headers, fig10_rows))
+    t6_headers = ["App", "RdSet", "WrSet", "DepSet", "SqFP%", "FalseInv",
+                  "SafeWB", "WrWr1k"]
+    t6_rows = [
+        [app, s.avg_read_set, s.avg_write_set, s.avg_dependence_set,
+         s.false_squash_percent, s.false_invalidations_per_commit,
+         s.safe_writebacks_per_task, s.wr_wr_conflicts_per_1k_tasks]
+        for app, s in ((a, c.stats["Bulk"]) for a, c in tls.items())
+    ]
+    write("table6.txt", render_table(t6_headers, t6_rows,
+                                     "Table 6: Bulk in TLS"))
+    write("table6.csv", render_csv(t6_headers, t6_rows))
+
+    # Figure 11 / 13 / 14 / Table 7 ---------------------------------------
+    tm = {
+        app: run_tm_comparison(app, txns_per_thread=args.tm_txns,
+                               seed=args.seed, include_partial=True)
+        for app in sorted(TM_KERNELS)
+    }
+    fig11_headers = ["App", "Eager", "Lazy", "Bulk", "Bulk-Partial"]
+    fig11_rows = [
+        [app] + [c.speedup_over_eager(s) for s in fig11_headers[1:]]
+        for app, c in tm.items()
+    ]
+    write("fig11.txt", render_table(fig11_headers, fig11_rows,
+                                    "Figure 11: TM speedups over Eager"))
+    write("fig11.csv", render_csv(fig11_headers, fig11_rows))
+
+    fig13_headers = ["App", "Scheme", "Inv", "Coh", "UB", "WB", "Fill",
+                     "Total"]
+    fig13_rows = []
+    for app, c in tm.items():
+        for scheme in ("Eager", "Lazy", "Bulk"):
+            b = c.bandwidth_vs_eager(scheme)
+            fig13_rows.append([app, scheme, b["Inv"], b["Coh"], b["UB"],
+                               b["WB"], b["Fill"], b["Total"]])
+    write("fig13.txt", render_table(fig13_headers, fig13_rows,
+                                    "Figure 13: bandwidth vs Eager (%)"))
+    write("fig13.csv", render_csv(fig13_headers, fig13_rows))
+
+    fig14 = {app: c.commit_bandwidth_vs_lazy() for app, c in tm.items()}
+    write("fig14.txt", render_bars(fig14,
+                                   title="Figure 14: Bulk commit bandwidth "
+                                   "(% of Lazy)", unit="%"))
+    write("fig14.csv", render_csv(["App", "BulkPctOfLazy"],
+                                  [[a, v] for a, v in fig14.items()]))
+
+    t7_headers = ["App", "RdSet", "WrSet", "DepSet", "SqFP%", "FalseInv",
+                  "SafeWB"]
+    t7_rows = [
+        [app, s.avg_read_set, s.avg_write_set, s.avg_dependence_set,
+         s.false_squash_percent, s.false_invalidations_per_commit,
+         s.safe_writebacks_per_txn]
+        for app, s in ((a, c.stats["Bulk"]) for a, c in tm.items())
+    ]
+    write("table7.txt", render_table(t7_headers, t7_rows,
+                                     "Table 7: Bulk in TM"))
+    write("table7.csv", render_csv(t7_headers, t7_rows))
+
+    # Figure 15 / Table 8 --------------------------------------------------
+    samples = collect_tm_samples(
+        txns_per_thread=max(4, args.tm_txns // 2), seed=args.seed,
+        max_samples_per_app=args.samples,
+    )
+    rows = sweep_signature_configs(TABLE8_CONFIGS, samples,
+                                   permutations_per_config=2)
+    f15_headers = ["Config", "Bits", "FPpct", "FPbest", "FPworst"]
+    f15_rows = [
+        [r.name, r.full_size_bits, 100 * r.fp_nominal, 100 * r.fp_best,
+         100 * r.fp_worst]
+        for r in rows
+    ]
+    write("fig15.txt", render_table(f15_headers, f15_rows,
+                                    f"Figure 15 ({len(samples)} samples)"))
+    write("fig15.csv", render_csv(f15_headers, f15_rows))
+    t8_headers = ["Config", "FullBits", "AvgRLEBits"]
+    t8_rows = [[r.name, r.full_size_bits, r.avg_compressed_bits]
+               for r in rows]
+    write("table8.txt", render_table(t8_headers, t8_rows,
+                                     "Table 8: signature catalogue"))
+    write("table8.csv", render_csv(t8_headers, t8_rows))
+    print(f"\nfull evaluation archived under {out}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bulk Disambiguation (ISCA 2006) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads").set_defaults(
+        func=_cmd_list
+    )
+
+    tm = sub.add_parser("tm", help="run one TM workload under every scheme")
+    tm.add_argument("app", choices=sorted(TM_KERNELS))
+    tm.add_argument("--txns", type=int, default=10,
+                    help="transactions per thread")
+    tm.add_argument("--seed", type=int, default=42)
+    tm.add_argument("--partial", action="store_true",
+                    help="also run Bulk with partial rollback")
+    tm.set_defaults(func=_cmd_tm)
+
+    tls = sub.add_parser("tls", help="run one TLS workload under every scheme")
+    tls.add_argument("app", choices=sorted(TLS_APPLICATIONS))
+    tls.add_argument("--tasks", type=int, default=120)
+    tls.add_argument("--seed", type=int, default=42)
+    tls.set_defaults(func=_cmd_tls)
+
+    accuracy = sub.add_parser(
+        "accuracy", help="the Figure 15 signature accuracy sweep"
+    )
+    accuracy.add_argument("--samples", type=int, default=250,
+                          help="samples per application")
+    accuracy.add_argument("--txns", type=int, default=6)
+    accuracy.add_argument("--seed", type=int, default=7)
+    accuracy.add_argument("--permutations", type=int, default=2)
+    accuracy.set_defaults(func=_cmd_accuracy)
+
+    sub.add_parser(
+        "fig12", help="demonstrate the Figure 12 Eager pathologies"
+    ).set_defaults(func=_cmd_fig12)
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="run the full evaluation and archive tables + CSVs",
+    )
+    reproduce.add_argument("--out", default="results",
+                           help="output directory")
+    reproduce.add_argument("--tm-txns", type=int, default=10)
+    reproduce.add_argument("--tls-tasks", type=int, default=120)
+    reproduce.add_argument("--samples", type=int, default=200)
+    reproduce.add_argument("--seed", type=int, default=42)
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    raise SystemExit(main())

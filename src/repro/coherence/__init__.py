@@ -1,0 +1,29 @@
+"""Invalidation-based coherence substrate: messages, bus, bandwidth.
+
+Bulk presumes "a multiprocessor with an invalidation-based cache coherence
+protocol" (Section 4).  This package models the interconnect side of that
+assumption: typed messages with byte costs, a broadcast bus with commit
+arbitration, and the bandwidth breakdown the paper reports in Figures 13
+and 14 (Inv / Coh / UB / WB / Fill categories).
+"""
+
+from repro.coherence.message import (
+    ADDRESS_BYTES,
+    HEADER_BYTES,
+    LINE_DATA_BYTES,
+    BandwidthCategory,
+    MessageKind,
+    message_bytes,
+)
+from repro.coherence.bus import BandwidthBreakdown, Bus
+
+__all__ = [
+    "ADDRESS_BYTES",
+    "HEADER_BYTES",
+    "LINE_DATA_BYTES",
+    "BandwidthCategory",
+    "MessageKind",
+    "message_bytes",
+    "BandwidthBreakdown",
+    "Bus",
+]

@@ -1,0 +1,124 @@
+"""Broadcast bus: commit arbitration plus bandwidth accounting.
+
+Commits in a lazy scheme must be serialised — "it first obtains permission
+to commit (e.g. gaining ownership of the bus)" (Section 4.1).  The
+:class:`Bus` grants commit slots in request order and never overlaps them,
+which is all the paper requires ("Bulk is not concerned about how the
+system handles commit races").
+
+Every message placed on the bus is accounted into the Figure 13 categories;
+commit-time invalidation traffic is additionally accumulated separately so
+Figure 14's commit-bandwidth comparison can be produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.coherence.message import (
+    CATEGORY_OF_KIND,
+    BandwidthCategory,
+    MessageKind,
+    message_bytes,
+)
+
+
+@dataclass
+class BandwidthBreakdown:
+    """Bytes transferred, split into Figure 13's categories."""
+
+    by_category: Dict[BandwidthCategory, int] = field(
+        default_factory=lambda: {category: 0 for category in BandwidthCategory}
+    )
+    #: Subset of INV bytes that was commit traffic (Figure 14's metric).
+    commit_bytes: int = 0
+    #: Message count per kind, for characterisation output.
+    message_counts: Dict[MessageKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in MessageKind}
+    )
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes across categories."""
+        return sum(self.by_category.values())
+
+    def category_bytes(self, category: BandwidthCategory) -> int:
+        """Bytes in one category."""
+        return self.by_category[category]
+
+    def merge(self, other: "BandwidthBreakdown") -> None:
+        """Accumulate another breakdown into this one."""
+        for category, amount in other.by_category.items():
+            self.by_category[category] += amount
+        self.commit_bytes += other.commit_bytes
+        for kind, count in other.message_counts.items():
+            self.message_counts[kind] += count
+
+
+class Bus:
+    """A shared broadcast bus with serialised commit slots.
+
+    Parameters
+    ----------
+    commit_occupancy_cycles:
+        Fixed cycles a commit holds the bus, on top of the transfer time
+        of its packet.
+    bytes_per_cycle:
+        Bus transfer rate used to convert packet sizes into occupancy.
+    """
+
+    def __init__(
+        self,
+        commit_occupancy_cycles: int = 10,
+        bytes_per_cycle: int = 16,
+    ) -> None:
+        self.commit_occupancy_cycles = commit_occupancy_cycles
+        self.bytes_per_cycle = bytes_per_cycle
+        self.bandwidth = BandwidthBreakdown()
+        self._bus_free_at = 0
+
+    # ------------------------------------------------------------------
+    # Bandwidth accounting
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        kind: MessageKind,
+        payload_bytes: int = 0,
+        is_commit_traffic: bool = False,
+    ) -> int:
+        """Account one message; returns its size in bytes."""
+        size = message_bytes(kind, payload_bytes)
+        category = CATEGORY_OF_KIND[kind]
+        self.bandwidth.by_category[category] += size
+        self.bandwidth.message_counts[kind] += 1
+        if is_commit_traffic:
+            self.bandwidth.commit_bytes += size
+        return size
+
+    # ------------------------------------------------------------------
+    # Commit arbitration
+    # ------------------------------------------------------------------
+
+    def acquire_commit(self, request_time: int, packet_bytes: int) -> int:
+        """Serialise a commit: returns the cycle at which it completes.
+
+        The commit occupies the bus from ``max(request_time, bus free)``
+        for its transfer time plus the fixed occupancy.
+        """
+        start = max(request_time, self._bus_free_at)
+        transfer = -(-packet_bytes // self.bytes_per_cycle)  # ceil division
+        end = start + self.commit_occupancy_cycles + transfer
+        self._bus_free_at = end
+        return end
+
+    @property
+    def free_at(self) -> int:
+        """Cycle at which the bus next becomes free."""
+        return self._bus_free_at
+
+    def reset(self) -> None:
+        """Clear accounting and arbitration state."""
+        self.bandwidth = BandwidthBreakdown()
+        self._bus_free_at = 0

@@ -1,0 +1,67 @@
+"""Bulk address disambiguation — Equation 1 of the paper.
+
+A committing thread C broadcasts its write signature ``W_C``.  A receiver
+R squashes iff::
+
+    W_C ∩ R_R ≠ ∅   or   W_C ∩ W_R ≠ ∅
+
+i.e. a potential read-after-write or write-after-write dependence.  The
+write-write term is required even under word-level disambiguation because
+the merged-line word bitmask is conservative (Section 4.4), and because
+threads may have updated different fractions of a line.
+
+Individual (non-speculative) writes are disambiguated with the membership
+operation instead: receiver R squashes on an invalidation for address ``a``
+iff ``a ∈ R_R or a ∈ W_R`` (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.signature import Signature
+
+
+@dataclass(frozen=True)
+class DisambiguationResult:
+    """Outcome of one bulk disambiguation, term by term.
+
+    The split into RAW and WAW terms feeds the characterisation tables
+    (dependence-set accounting) and lets tests assert exactly which term
+    fired.
+    """
+
+    raw_conflict: bool
+    waw_conflict: bool
+
+    @property
+    def squash(self) -> bool:
+        """Whether the receiving thread must be squashed."""
+        return self.raw_conflict or self.waw_conflict
+
+    def __bool__(self) -> bool:
+        return self.squash
+
+
+def disambiguate(
+    committed_write: Signature,
+    receiver_read: Signature,
+    receiver_write: Signature,
+) -> DisambiguationResult:
+    """Evaluate Equation 1 for one receiver against a committed W_C."""
+    return DisambiguationResult(
+        raw_conflict=committed_write.intersects(receiver_read),
+        waw_conflict=committed_write.intersects(receiver_write),
+    )
+
+
+def address_conflicts(
+    address: int,
+    receiver_read: Signature,
+    receiver_write: Signature,
+) -> bool:
+    """Membership-based disambiguation of a single invalidation address.
+
+    ``address`` must already be at the signatures' granularity.
+    """
+    return address in receiver_read or address in receiver_write

@@ -1,0 +1,117 @@
+"""The C_i chunk / V_i field layout of Figure 2.
+
+After permutation, the low bits of the address are sliced into ``n``
+consecutive chunks ``C_1 .. C_n`` of configured sizes (Table 8's
+*Description* column).  Each chunk value is one-hot decoded into the
+corresponding ``V_i`` field of the signature and OR-ed in.
+
+An important consequence, exploited by the exact decode operation delta
+(Section 3.2), is that each ``V_i`` field records the **exact set** of
+chunk-``i`` values of all addresses inserted so far — the inexactness of a
+signature comes only from recombining chunk values across fields.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class ChunkLayout:
+    """Slicing of a permuted address into C_i chunks, and V_i field geometry.
+
+    Parameters
+    ----------
+    chunk_sizes:
+        Bit widths of ``C_1 .. C_n``, starting at the least-significant bit
+        of the permuted address (the Table 8 convention).
+    address_bits:
+        Width of the addresses being encoded.  Bits above the chunks do not
+        participate in the encoding (they alias), which is why permutations
+        that pull high-entropy bits down into the chunks improve accuracy.
+    """
+
+    __slots__ = (
+        "chunk_sizes",
+        "address_bits",
+        "chunk_offsets",
+        "field_sizes",
+        "field_offsets",
+        "signature_bits",
+    )
+
+    def __init__(self, chunk_sizes: Sequence[int], address_bits: int) -> None:
+        if not chunk_sizes:
+            raise ConfigurationError("a signature needs at least one chunk")
+        if any(size <= 0 for size in chunk_sizes):
+            raise ConfigurationError(f"chunk sizes must be positive: {chunk_sizes}")
+        # Chunks may extend beyond the address width: several Table 8
+        # layouts sum to 31-32 bits over 26-bit line addresses (e.g. S4,
+        # S23).  The hardware zero-extends the address, so the excess bit
+        # positions always read 0 and the affected V_i fields degenerate
+        # gracefully (their low "constant" bits are always set together).
+        self.chunk_sizes: Tuple[int, ...] = tuple(chunk_sizes)
+        self.address_bits = address_bits
+
+        offsets: List[int] = []
+        position = 0
+        for size in self.chunk_sizes:
+            offsets.append(position)
+            position += size
+        #: Bit offset of each chunk within the permuted address.
+        self.chunk_offsets: Tuple[int, ...] = tuple(offsets)
+
+        #: Size in bits of each V_i field (2**c_i).
+        self.field_sizes: Tuple[int, ...] = tuple(1 << c for c in self.chunk_sizes)
+        field_offsets: List[int] = []
+        position = 0
+        for size in self.field_sizes:
+            field_offsets.append(position)
+            position += size
+        #: Bit offset of each V_i field within the flattened signature.
+        self.field_offsets: Tuple[int, ...] = tuple(field_offsets)
+        #: Total signature size in bits (Table 8's *Full Size* column).
+        self.signature_bits = position
+
+    @property
+    def num_fields(self) -> int:
+        """Number of C_i/V_i pairs."""
+        return len(self.chunk_sizes)
+
+    def chunk_values(self, permuted_address: int) -> Tuple[int, ...]:
+        """Extract every chunk value from an already-permuted address."""
+        return tuple(
+            (permuted_address >> offset) & ((1 << size) - 1)
+            for offset, size in zip(self.chunk_offsets, self.chunk_sizes)
+        )
+
+    def chunk_of_bit(self, permuted_bit: int) -> int:
+        """Index of the chunk containing a permuted-address bit position.
+
+        Returns ``-1`` if the bit lies above all chunks (not encoded).
+        """
+        for index in range(self.num_fields - 1, -1, -1):
+            offset = self.chunk_offsets[index]
+            if permuted_bit >= offset:
+                if permuted_bit < offset + self.chunk_sizes[index]:
+                    return index
+                return -1
+        return -1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChunkLayout):
+            return NotImplemented
+        return (
+            self.chunk_sizes == other.chunk_sizes
+            and self.address_bits == other.address_bits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.chunk_sizes, self.address_bits))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChunkLayout(chunks={self.chunk_sizes}, "
+            f"signature_bits={self.signature_bits})"
+        )

@@ -1,0 +1,190 @@
+"""Address signatures and the primitive bulk operations of Table 1.
+
+A signature is the paper's hash-encoded superset representation of a set
+of addresses.  The primitive operations are:
+
+========================  ===================================================
+Operation                 Implementation here
+========================  ===================================================
+intersection (``&``)      per-field bitwise AND
+union (``|``)             per-field bitwise OR
+emptiness                 *any* V_i field all-zero  (every insertion sets one
+                          bit in every field, so a non-empty signature has at
+                          least one bit set in each field)
+membership (``in``)       encode the address, AND with the signature, check
+                          emptiness — equivalently, test one bit per field
+decode (delta)            see :mod:`repro.core.decode`
+========================  ===================================================
+
+Superset semantics: for an address set ``A``, ``H(A)`` contains every
+member of ``A`` (no false negatives) and possibly aliases (false
+positives).  Aliasing hurts performance, never correctness — the test
+suite's property tests pin both halves of that contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Set
+
+from repro.core.bitvector import iter_set_bits, popcount
+from repro.core.signature_config import SignatureConfig
+from repro.errors import ConfigurationError
+
+
+class Signature:
+    """A mutable signature register of a fixed configuration.
+
+    Each V_i field is stored as a Python integer used as a bit vector of
+    ``2**c_i`` bits.  All operations between two signatures require the
+    same :class:`~repro.core.signature_config.SignatureConfig` — hardware
+    registers of different shapes cannot be combined.
+    """
+
+    __slots__ = ("config", "fields")
+
+    def __init__(self, config: SignatureConfig) -> None:
+        self.config = config
+        self.fields: List[int] = [0] * config.layout.num_fields
+
+    @classmethod
+    def from_addresses(
+        cls, config: SignatureConfig, addresses: Iterable[int]
+    ) -> "Signature":
+        """Encode a whole address set at once."""
+        signature = cls(config)
+        for address in addresses:
+            signature.add(address)
+        return signature
+
+    def add(self, address: int) -> None:
+        """Insert one address (at the configuration's granularity)."""
+        for index, chunk in enumerate(self.config.encode(address)):
+            self.fields[index] |= 1 << chunk
+
+    def clear(self) -> None:
+        """Gang-clear the register — this is how Bulk commits (Table 2)."""
+        for index in range(len(self.fields)):
+            self.fields[index] = 0
+
+    def is_empty(self) -> bool:
+        """Emptiness test: true iff some V_i field is all-zero."""
+        return any(field == 0 for field in self.fields)
+
+    def __contains__(self, address: int) -> bool:
+        """Membership test for one address (Table 1's element-of)."""
+        return all(
+            (self.fields[index] >> chunk) & 1
+            for index, chunk in enumerate(self.config.encode(address))
+        )
+
+    def _check_compatible(self, other: "Signature") -> None:
+        if self.config != other.config:
+            raise ConfigurationError(
+                "cannot combine signatures with different configurations: "
+                f"{self.config.name} vs {other.config.name}"
+            )
+
+    def __and__(self, other: "Signature") -> "Signature":
+        """Signature intersection (per-field AND)."""
+        self._check_compatible(other)
+        result = Signature(self.config)
+        result.fields = [a & b for a, b in zip(self.fields, other.fields)]
+        return result
+
+    def __or__(self, other: "Signature") -> "Signature":
+        """Signature union (per-field OR)."""
+        self._check_compatible(other)
+        result = Signature(self.config)
+        result.fields = [a | b for a, b in zip(self.fields, other.fields)]
+        return result
+
+    def union_update(self, other: "Signature") -> None:
+        """In-place union (used when flattening nested transactions)."""
+        self._check_compatible(other)
+        for index, field in enumerate(other.fields):
+            self.fields[index] |= field
+
+    def intersects(self, other: "Signature") -> bool:
+        """True iff the intersection is non-empty.
+
+        This is the hot operation of bulk disambiguation; it avoids
+        allocating the intersection signature.
+        """
+        self._check_compatible(other)
+        return all(a & b for a, b in zip(self.fields, other.fields))
+
+    def copy(self) -> "Signature":
+        """An independent copy of the register."""
+        duplicate = Signature(self.config)
+        duplicate.fields = list(self.fields)
+        return duplicate
+
+    def popcount(self) -> int:
+        """Total number of set bits across all fields."""
+        return sum(popcount(field) for field in self.fields)
+
+    def to_flat_int(self) -> int:
+        """The signature flattened to one integer, V_1 at the low end.
+
+        This is the wire format: what RLE compression operates on and what
+        a commit broadcast carries.
+        """
+        flat = 0
+        for offset, field in zip(self.config.layout.field_offsets, self.fields):
+            flat |= field << offset
+        return flat
+
+    @classmethod
+    def from_flat_int(cls, config: SignatureConfig, flat: int) -> "Signature":
+        """Rebuild a signature from its wire format."""
+        if flat < 0 or flat >> config.size_bits:
+            raise ConfigurationError(
+                f"flat value does not fit in a {config.size_bits}-bit signature"
+            )
+        signature = cls(config)
+        layout = config.layout
+        signature.fields = [
+            (flat >> offset) & ((1 << size) - 1)
+            for offset, size in zip(layout.field_offsets, layout.field_sizes)
+        ]
+        return signature
+
+    def set_bit_positions(self) -> Iterator[int]:
+        """Positions of set bits in the flattened wire format, ascending."""
+        return iter_set_bits(self.to_flat_int())
+
+    def field_values(self, index: int) -> Set[int]:
+        """The exact set of chunk-``index`` values inserted so far.
+
+        V_i is a one-hot-decoded accumulation, so its set bits *are* the
+        chunk values — the property the exact delta decode relies on.
+        """
+        return set(iter_set_bits(self.fields[index]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signature):
+            return NotImplemented
+        return self.config == other.config and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash((self.config, tuple(self.fields)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Signature({self.config.name}, {self.config.size_bits} bits, "
+            f"popcount={self.popcount()})"
+        )
+
+
+def signature_of(
+    config: SignatureConfig, byte_addresses: Iterable[int]
+) -> Signature:
+    """Encode *byte* addresses into a signature at its granularity.
+
+    Convenience for callers that work in byte addresses (the simulators'
+    native unit); :meth:`Signature.add` takes already-converted addresses.
+    """
+    signature = Signature(config)
+    for byte_address in byte_addresses:
+        signature.add(config.granularity.from_byte(byte_address))
+    return signature

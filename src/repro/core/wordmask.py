@@ -1,0 +1,84 @@
+"""The Updated Word Bitmask unit and line merging (Section 4.4, Figure 6).
+
+When signatures encode *word* addresses, two speculative threads that
+updated different words of the same line can both keep their updates: the
+receiver of a commit merges the just-committed version of the line with its
+own local updates.  The hardware unit that makes this possible takes the
+local write signature ``W_R`` and a line address and produces a
+(conservative, due to aliasing) bitmask of the words in the line that the
+local thread updated.  The merged line takes local words where the mask is
+set and committed words elsewhere.
+
+The bitmask can never include a word the *committing* thread wrote: if the
+signatures had intersected on any word, Equation 1's ``W_C ∩ W_R`` term
+would already have squashed the receiver — the paper explains this is
+precisely why the write-write term is needed even with word-level
+disambiguation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.signature import Signature
+from repro.core.signature_config import SignatureConfig
+from repro.errors import ConfigurationError
+from repro.mem.address import WORDS_PER_LINE, Granularity, words_of_line
+
+
+class UpdatedWordBitmaskUnit:
+    """Functional unit computing per-line updated-word bitmasks from W.
+
+    Only meaningful for word-granularity signatures; constructing one for a
+    line-granularity configuration is a configuration error.
+    """
+
+    __slots__ = ("config",)
+
+    def __init__(self, config: SignatureConfig) -> None:
+        if config.granularity is not Granularity.WORD:
+            raise ConfigurationError(
+                "the Updated Word Bitmask unit requires word-granularity "
+                f"signatures, got {config.granularity.value}"
+            )
+        self.config = config
+
+    def mask_for_line(self, write_signature: Signature, line_address: int) -> int:
+        """Bitmask (bit *i* = word *i* of the line) of locally-updated words.
+
+        Conservative: word-address aliasing can set extra bits, but — as
+        argued in Section 4.4 — never bits for words the committing thread
+        wrote, provided Equation 1 was checked first.
+        """
+        if write_signature.config != self.config:
+            raise ConfigurationError(
+                "write signature configuration does not match the unit's"
+            )
+        mask = 0
+        for offset, word_address in enumerate(words_of_line(line_address)):
+            if word_address in write_signature:
+                mask |= 1 << offset
+        return mask
+
+
+def merge_line(
+    committed_words: Sequence[int],
+    local_words: Sequence[int],
+    updated_word_mask: int,
+) -> Tuple[int, ...]:
+    """Merge a committed line with local updates (Figure 6's datapath).
+
+    Words whose mask bit is set keep the local value; all others take the
+    just-committed value.
+    """
+    if len(committed_words) != WORDS_PER_LINE or len(local_words) != WORDS_PER_LINE:
+        raise ConfigurationError(
+            f"lines have {WORDS_PER_LINE} words: got {len(committed_words)} "
+            f"and {len(local_words)}"
+        )
+    return tuple(
+        local if (updated_word_mask >> offset) & 1 else committed
+        for offset, (committed, local) in enumerate(
+            zip(committed_words, local_words)
+        )
+    )

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the Bulk reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`BulkError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class BulkError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(BulkError):
+    """An object was constructed with inconsistent or invalid parameters.
+
+    Raised, for example, when a signature's chunk layout does not cover the
+    address width, when a permutation is not a bijection, or when a cache
+    geometry is not a power of two.
+    """
+
+
+class DeltaInexactError(ConfigurationError):
+    """The decode operation delta(S) cannot be exact for this geometry.
+
+    Section 3.2 of the paper requires that ``delta(W)`` produce the *exact*
+    set of cache set indices of the addresses in ``W``; this is what makes
+    bulk invalidation of dirty lines safe (Section 4.3).  The property holds
+    only when all cache-index bits of the (permuted) address fall inside a
+    single C_i chunk.  A :class:`~repro.core.bdm.BulkDisambiguationModule`
+    refuses to operate with a signature configuration that violates it.
+    """
+
+
+class SetRestrictionError(BulkError):
+    """The Set Restriction invariant was violated (Section 4.3/4.5).
+
+    Any dirty lines within one cache set must all belong to a single owner:
+    either exactly one speculative thread, or the non-speculative state.
+    This error indicates a bug in the caller or in the protocol glue, never
+    an expected runtime condition — the BDM resolves impending violations
+    (by write-back, preemption or squash) before they occur.
+    """
+
+
+class ProtocolError(BulkError):
+    """An illegal coherence-protocol transition or message was attempted."""
+
+
+class SimulationError(BulkError):
+    """The simulator reached an inconsistent state (e.g. deadlock)."""
+
+
+class TraceError(BulkError):
+    """A memory-event trace is malformed or internally inconsistent."""
+
+
+class OverflowAreaError(BulkError):
+    """An overflow-area operation was invalid (e.g. double deallocation)."""

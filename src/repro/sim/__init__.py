@@ -1,0 +1,37 @@
+"""Simulation substrate: event records, deterministic RNG, scheduling."""
+
+from repro.sim.trace import (
+    EventKind,
+    MemEvent,
+    ThreadTrace,
+    compute,
+    load,
+    store,
+    tx_begin,
+    tx_end,
+)
+from repro.sim.rng import SubstreamRng
+from repro.sim.engine import MinClockScheduler
+from repro.sim.traceio import (
+    load_tls_tasks,
+    load_tm_traces,
+    save_tls_tasks,
+    save_tm_traces,
+)
+
+__all__ = [
+    "EventKind",
+    "MemEvent",
+    "ThreadTrace",
+    "compute",
+    "load",
+    "store",
+    "tx_begin",
+    "tx_end",
+    "SubstreamRng",
+    "MinClockScheduler",
+    "load_tls_tasks",
+    "load_tm_traces",
+    "save_tls_tasks",
+    "save_tm_traces",
+]

@@ -1,0 +1,161 @@
+"""Memory-event traces — the input format of both system simulators.
+
+The paper's TM evaluation is explicitly trace-driven ("These traces were
+then analyzed in our TM simulator"), and its TLS evaluation is
+execution-driven over compiler-generated tasks; this module defines the
+common event vocabulary both our simulators consume:
+
+* ``LOAD`` / ``STORE`` of a byte address (stores carry the value written,
+  so squash-and-replay is deterministic and final memory state can be
+  checked against a serial reference execution);
+* ``COMPUTE`` of some number of non-memory cycles;
+* ``TX_BEGIN`` / ``TX_END`` transaction markers (TM traces only; nesting
+  is expressed by nested begin/end pairs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import TraceError
+
+
+class EventKind(enum.Enum):
+    """Kinds of trace events."""
+
+    LOAD = "load"
+    STORE = "store"
+    COMPUTE = "compute"
+    TX_BEGIN = "tx-begin"
+    TX_END = "tx-end"
+
+
+@dataclass(frozen=True)
+class MemEvent:
+    """One trace event.
+
+    ``address`` is a byte address (LOAD/STORE only); ``value`` is the
+    stored word value (STORE only); ``cycles`` is the compute duration
+    (COMPUTE only).
+    """
+
+    kind: EventKind
+    address: int = 0
+    value: int = 0
+    cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind in (EventKind.LOAD, EventKind.STORE):
+            if self.address < 0:
+                raise TraceError(f"negative address in {self.kind.value} event")
+        if self.kind is EventKind.COMPUTE and self.cycles <= 0:
+            raise TraceError("compute events need a positive cycle count")
+
+
+def load(address: int) -> MemEvent:
+    """A load event."""
+    return MemEvent(EventKind.LOAD, address=address)
+
+
+def store(address: int, value: int = 0) -> MemEvent:
+    """A store event carrying the value written."""
+    return MemEvent(EventKind.STORE, address=address, value=value)
+
+
+def compute(cycles: int) -> MemEvent:
+    """A block of non-memory work."""
+    return MemEvent(EventKind.COMPUTE, cycles=cycles)
+
+
+def tx_begin() -> MemEvent:
+    """A transaction-begin marker."""
+    return MemEvent(EventKind.TX_BEGIN)
+
+
+def tx_end() -> MemEvent:
+    """A transaction-end marker."""
+    return MemEvent(EventKind.TX_END)
+
+
+class ThreadTrace:
+    """The full event sequence one thread executes.
+
+    Validates transactional bracketing at construction: every ``TX_END``
+    must close an open ``TX_BEGIN`` and the trace must end with no open
+    transaction.
+    """
+
+    __slots__ = ("thread_id", "events")
+
+    def __init__(self, thread_id: int, events: Sequence[MemEvent]) -> None:
+        self.thread_id = thread_id
+        self.events: Tuple[MemEvent, ...] = tuple(events)
+        self._validate()
+
+    def _validate(self) -> None:
+        depth = 0
+        for position, event in enumerate(self.events):
+            if event.kind is EventKind.TX_BEGIN:
+                depth += 1
+            elif event.kind is EventKind.TX_END:
+                depth -= 1
+                if depth < 0:
+                    raise TraceError(
+                        f"thread {self.thread_id}: TX_END at event {position} "
+                        "closes nothing"
+                    )
+        if depth:
+            raise TraceError(
+                f"thread {self.thread_id}: trace ends with {depth} open "
+                "transaction(s)"
+            )
+
+    def memory_event_count(self) -> int:
+        """Number of loads plus stores."""
+        return sum(
+            1
+            for event in self.events
+            if event.kind in (EventKind.LOAD, EventKind.STORE)
+        )
+
+    def transaction_count(self) -> int:
+        """Number of top-level transactions."""
+        depth = 0
+        count = 0
+        for event in self.events:
+            if event.kind is EventKind.TX_BEGIN:
+                if depth == 0:
+                    count += 1
+                depth += 1
+            elif event.kind is EventKind.TX_END:
+                depth -= 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ThreadTrace(thread={self.thread_id}, events={len(self.events)}, "
+            f"transactions={self.transaction_count()})"
+        )
+
+
+def serial_reference_memory(
+    traces: Iterable[ThreadTrace],
+) -> "dict[int, int]":
+    """Final word-address → value map of a *serial* execution of traces.
+
+    Each thread's stores are applied in trace order, threads one after
+    another.  Used by tests as one of the serialisability oracles (for
+    workloads whose threads write disjoint locations, any interleaving
+    must agree with this).
+    """
+    memory: dict = {}
+    for trace in traces:
+        for event in trace.events:
+            if event.kind is EventKind.STORE:
+                memory[event.address >> 2] = event.value & 0xFFFFFFFF
+    return memory

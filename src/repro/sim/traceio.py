@@ -1,0 +1,157 @@
+"""Trace serialisation: save and reload workloads as JSON-lines files.
+
+Generated workloads are deterministic, but persisting them lets users
+archive the exact traces behind a result, diff workload versions, and
+feed externally-captured traces (e.g. from a real binary-instrumentation
+run) into the simulators.
+
+Format: one JSON object per line.
+
+* ``{"kind": "thread", "id": 3}`` starts a thread (TM) —
+  subsequent event lines belong to it;
+* ``{"kind": "task", "id": 7, "spawn": 12}`` starts a task (TLS);
+* events are compact arrays: ``["l", address]``, ``["s", address,
+  value]``, ``["c", cycles]``, ``["b"]``, ``["e"]``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.errors import TraceError
+from repro.sim.trace import (
+    EventKind,
+    MemEvent,
+    ThreadTrace,
+    compute,
+    load,
+    store,
+    tx_begin,
+    tx_end,
+)
+from repro.tls.task import TlsTask
+
+_ENCODERS = {
+    EventKind.LOAD: lambda e: ["l", e.address],
+    EventKind.STORE: lambda e: ["s", e.address, e.value],
+    EventKind.COMPUTE: lambda e: ["c", e.cycles],
+    EventKind.TX_BEGIN: lambda e: ["b"],
+    EventKind.TX_END: lambda e: ["e"],
+}
+
+_DECODERS = {
+    "l": lambda row: load(row[1]),
+    "s": lambda row: store(row[1], row[2]),
+    "c": lambda row: compute(row[1]),
+    "b": lambda row: tx_begin(),
+    "e": lambda row: tx_end(),
+}
+
+
+def _encode_event(event: MemEvent) -> list:
+    return _ENCODERS[event.kind](event)
+
+
+def _decode_event(row: list) -> MemEvent:
+    try:
+        return _DECODERS[row[0]](row)
+    except (KeyError, IndexError) as error:
+        raise TraceError(f"malformed trace event {row!r}") from error
+
+
+def save_tm_traces(
+    path: Union[str, Path], traces: Sequence[ThreadTrace]
+) -> None:
+    """Write TM thread traces to a JSON-lines file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for trace in traces:
+            handle.write(
+                json.dumps({"kind": "thread", "id": trace.thread_id}) + "\n"
+            )
+            for event in trace.events:
+                handle.write(json.dumps(_encode_event(event)) + "\n")
+
+
+def load_tm_traces(path: Union[str, Path]) -> List[ThreadTrace]:
+    """Read TM thread traces from a JSON-lines file."""
+    traces: List[ThreadTrace] = []
+    current_id = None
+    events: List[MemEvent] = []
+
+    def flush() -> None:
+        if current_id is not None:
+            traces.append(ThreadTrace(current_id, events))
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if isinstance(row, dict):
+                if row.get("kind") != "thread":
+                    raise TraceError(
+                        f"{path}:{line_number}: expected a thread header"
+                    )
+                flush()
+                current_id = row["id"]
+                events = []
+            else:
+                if current_id is None:
+                    raise TraceError(
+                        f"{path}:{line_number}: event before any header"
+                    )
+                events.append(_decode_event(row))
+    flush()
+    return traces
+
+
+def save_tls_tasks(path: Union[str, Path], tasks: Sequence[TlsTask]) -> None:
+    """Write TLS tasks to a JSON-lines file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for task in tasks:
+            handle.write(
+                json.dumps(
+                    {"kind": "task", "id": task.task_id,
+                     "spawn": task.spawn_cursor}
+                )
+                + "\n"
+            )
+            for event in task.events:
+                handle.write(json.dumps(_encode_event(event)) + "\n")
+
+
+def load_tls_tasks(path: Union[str, Path]) -> List[TlsTask]:
+    """Read TLS tasks from a JSON-lines file."""
+    tasks: List[TlsTask] = []
+    header = None
+    events: List[MemEvent] = []
+
+    def flush() -> None:
+        if header is not None:
+            tasks.append(TlsTask(header["id"], events, header["spawn"]))
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if isinstance(row, dict):
+                if row.get("kind") != "task":
+                    raise TraceError(
+                        f"{path}:{line_number}: expected a task header"
+                    )
+                flush()
+                header = row
+                events = []
+            else:
+                if header is None:
+                    raise TraceError(
+                        f"{path}:{line_number}: event before any header"
+                    )
+                events.append(_decode_event(row))
+    flush()
+    return tasks

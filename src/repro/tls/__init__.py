@@ -1,0 +1,47 @@
+"""Thread-Level Speculation system simulator (paper Sections 6.3 and 7).
+
+Four processors (Table 5), private 16 KB L1s, word-granularity
+signatures, tasks extracted from a sequential program and committed in
+order.  Key TLS-specific behaviours modelled:
+
+* **eager communication** — a task's loads can observe speculative data
+  forwarded from less-speculative active tasks;
+* **squash propagation** — squashing a task also squashes every
+  more-speculative active task (its children), and squashed tasks also
+  invalidate the lines they *read* (Section 6.3);
+* **Partial Overlap** (Figure 9) — the first child of a task is
+  disambiguated against the parent's *shadow* write signature, which only
+  records writes issued after the spawn, and the parent's pre-spawn write
+  signature is used to flush the child's cache at dispatch;
+* **word-grain disambiguation and line merging** (Section 4.4) — two
+  tasks that wrote different words of one line both keep their updates.
+
+Schemes: exact Eager, exact Lazy (with an exact Partial-Overlap
+analogue, as in the paper's evaluation), Bulk, and Bulk without Partial
+Overlap (the BulkNoOverlap bar of Figure 10).
+"""
+
+from repro.tls.params import TlsParams, TLS_DEFAULTS
+from repro.tls.task import TaskStatus, TaskState, TlsTask
+from repro.tls.conflict import TlsScheme
+from repro.tls.eager import TlsEagerScheme
+from repro.tls.lazy import TlsLazyScheme
+from repro.tls.bulk import TlsBulkScheme
+from repro.tls.system import TlsSystem, TlsRunResult, simulate_sequential
+from repro.tls.stats import TlsStats
+
+__all__ = [
+    "TlsParams",
+    "TLS_DEFAULTS",
+    "TlsTask",
+    "TaskState",
+    "TaskStatus",
+    "TlsScheme",
+    "TlsEagerScheme",
+    "TlsLazyScheme",
+    "TlsBulkScheme",
+    "TlsSystem",
+    "TlsRunResult",
+    "TlsStats",
+    "simulate_sequential",
+]

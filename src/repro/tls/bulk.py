@@ -1,0 +1,308 @@
+"""The Bulk TLS scheme: signatures, Partial Overlap, word-grain merging.
+
+All of Section 6.3's TLS extensions are implemented:
+
+* squashed tasks bulk-invalidate the lines they **read** as well as the
+  ones they wrote (their data may have been forwarded from a squashed
+  predecessor);
+* **Partial Overlap** (Figure 9): at the spawn point a shadow write
+  signature W_sh starts accumulating alongside W; the committing task
+  sends both, its first child disambiguates against W_sh, everyone else
+  against W; the spawn command carries the parent's current W, which
+  bulk-invalidates the clean matching lines in the child's cache before
+  it starts.
+
+Constructed with ``partial_overlap=False`` this is the BulkNoOverlap
+configuration of Figure 10 (17% slower in the paper, because SPECint
+tasks read many live-ins their parent produced just before spawning
+them).
+
+Word-grain commit merging uses the BDM's Updated Word Bitmask unit
+(Section 4.4) — the committed line is fetched and the receiver's
+locally-written words are patched in.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.coherence.message import MessageKind
+from repro.core.bdm import (
+    BulkDisambiguationModule,
+    SetRestrictionAction,
+    VersionContext,
+)
+from repro.core.disambiguation import disambiguate
+from repro.core.rle import rle_encode
+from repro.core.signature import Signature
+from repro.errors import SimulationError
+from repro.tls.conflict import TlsScheme
+from repro.tls.task import TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tls.system import TlsProcessor, TlsSystem
+
+
+class TlsBulkScheme(TlsScheme):
+    """Signature-based lazy TLS disambiguation through per-processor BDMs."""
+
+    def __init__(self, partial_overlap: bool = True) -> None:
+        self.partial_overlap = partial_overlap
+        self.overlap_reference = partial_overlap
+        self.name = "Bulk" if partial_overlap else "BulkNoOverlap"
+        #: task id -> snapshot of the parent's W at the spawn point (what
+        #: the spawn command carries for the child's cache flush).
+        self._spawn_write_snapshot: Dict[int, Signature] = {}
+
+    # ------------------------------------------------------------------
+    # BDM plumbing
+    # ------------------------------------------------------------------
+
+    def setup_processor(self, system: "TlsSystem", proc: "TlsProcessor") -> None:
+        proc.scheme_state["bdm"] = BulkDisambiguationModule(
+            system.params.signature_config,
+            system.params.geometry,
+            num_contexts=system.params.bdm_contexts,
+        )
+        proc.scheme_state["ctx"] = {}
+
+    @staticmethod
+    def bdm_of(proc: "TlsProcessor") -> BulkDisambiguationModule:
+        """The processor's BDM."""
+        return proc.scheme_state["bdm"]
+
+    def ctx_of(self, proc: "TlsProcessor", task_id: int) -> VersionContext:
+        """The BDM version context holding a resident task's signatures."""
+        context = proc.scheme_state["ctx"].get(task_id)
+        if context is None:
+            raise SimulationError(
+                f"task {task_id} has no BDM context on processor {proc.pid}"
+            )
+        return context
+
+    def has_free_context(self, proc: "TlsProcessor") -> bool:
+        """Whether another task can become resident on this processor."""
+        bdm = self.bdm_of(proc)
+        return any(not context.active for context in bdm.contexts)
+
+    def can_accept_task(self, system: "TlsSystem", proc: "TlsProcessor") -> bool:
+        return self.has_free_context(proc)
+
+    # ------------------------------------------------------------------
+    # Dispatch and spawn
+    # ------------------------------------------------------------------
+
+    def on_dispatch(
+        self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
+    ) -> None:
+        bdm = self.bdm_of(proc)
+        contexts = proc.scheme_state["ctx"]
+        context = contexts.get(state.task_id)
+        if context is None:
+            context = bdm.allocate_context(state.task_id)
+            if context is None:
+                raise SimulationError(
+                    f"BDM of processor {proc.pid} is out of version contexts"
+                )
+            contexts[state.task_id] = context
+        bdm.set_running(context)
+        if not self.partial_overlap or state.task_id == 0:
+            return
+        # Extension 3 of Section 6.3: flush clean lines matching the
+        # parent's spawn-time W from the child's cache, so live-ins miss
+        # and are forwarded fresh from the parent.
+        snapshot = self._spawn_write_snapshot.get(state.task_id)
+        if snapshot is None:
+            return
+        payload = len(rle_encode(snapshot))
+        system.bus.record(MessageKind.SPAWN_SIGNATURE, payload_bytes=max(1, payload))
+        for _, line in bdm_expansion(bdm, snapshot, proc):
+            if not line.dirty:
+                proc.cache.invalidate(line.line_address)
+
+    def on_spawn_point(
+        self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
+    ) -> None:
+        # The exact shadow set is maintained by the system for the oracle
+        # in all configurations; the *signature* shadow only exists under
+        # Partial Overlap.  Anchoring the shadow at the spawn crossing is
+        # sound across restarts because a jointly-squashed child is only
+        # re-created when the replayed parent crosses the spawn again.
+        if not self.partial_overlap:
+            return
+        context = self.ctx_of(proc, state.task_id)
+        context.start_shadow()
+        self._spawn_write_snapshot[state.task_id + 1] = (
+            context.write_signature.copy()
+        )
+
+    # ------------------------------------------------------------------
+    # Access hooks
+    # ------------------------------------------------------------------
+
+    def prepare_store(
+        self,
+        system: "TlsSystem",
+        proc: "TlsProcessor",
+        state: TaskState,
+        line_address: int,
+    ) -> Optional[int]:
+        bdm = self.bdm_of(proc)
+        bdm.set_running(self.ctx_of(proc, state.task_id))
+        action = bdm.store_set_action(line_address)
+        if action is SetRestrictionAction.PROCEED:
+            return None
+        if action is SetRestrictionAction.WRITEBACK_NONSPEC:
+            set_index = proc.cache.set_index(line_address)
+            for line in proc.cache.dirty_lines_in_set(set_index):
+                system.bus.record(MessageKind.WRITEBACK)
+                proc.cache.clean(line.line_address)
+                bdm.note_safe_writeback()
+                system.stats.safe_writebacks += 1
+            return None
+        # Wr-Wr conflict: a preempted (waiting) task owns dirty lines in
+        # this set.  The more speculative task — the storer — is squashed
+        # and gated until the owner commits (Section 4.5's resolution as
+        # evaluated in Table 6).
+        system.stats.wr_wr_conflicts += 1
+        set_index = proc.cache.set_index(line_address)
+        owner = bdm.speculative_owner_of_set(set_index)
+        if owner is None or owner.owner is None:
+            return None
+        return owner.owner
+
+    def record_load(
+        self,
+        system: "TlsSystem",
+        proc: "TlsProcessor",
+        state: TaskState,
+        byte_address: int,
+    ) -> None:
+        bdm = self.bdm_of(proc)
+        bdm.set_running(self.ctx_of(proc, state.task_id))
+        bdm.record_load(byte_address)
+
+    def record_store(
+        self,
+        system: "TlsSystem",
+        proc: "TlsProcessor",
+        state: TaskState,
+        byte_address: int,
+    ) -> None:
+        bdm = self.bdm_of(proc)
+        bdm.set_running(self.ctx_of(proc, state.task_id))
+        bdm.record_store(byte_address)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def commit_packet(self, system: "TlsSystem", state: TaskState) -> int:
+        assert state.proc is not None
+        proc = system.processors[state.proc]
+        context = self.ctx_of(proc, state.task_id)
+        total = system.bus.record(
+            MessageKind.COMMIT_SIGNATURE,
+            payload_bytes=max(1, len(rle_encode(context.write_signature))),
+            is_commit_traffic=True,
+        )
+        if self.partial_overlap and context.shadow_write_signature is not None:
+            # "When a thread commits, it sends both its write signature W
+            # and its shadow one Wsh" (Figure 9).
+            total += system.bus.record(
+                MessageKind.COMMIT_SIGNATURE,
+                payload_bytes=max(
+                    1, len(rle_encode(context.shadow_write_signature))
+                ),
+                is_commit_traffic=True,
+            )
+        return total
+
+    def _signature_against(
+        self, system: "TlsSystem", committer: TaskState, receiver: TaskState
+    ) -> Signature:
+        assert committer.proc is not None
+        proc = system.processors[committer.proc]
+        context = self.ctx_of(proc, committer.task_id)
+        if (
+            self.partial_overlap
+            and receiver.task_id == committer.task_id + 1
+            and context.shadow_write_signature is not None
+        ):
+            return context.shadow_write_signature
+        return context.write_signature
+
+    def receiver_conflict(
+        self,
+        system: "TlsSystem",
+        committer: TaskState,
+        receiver: TaskState,
+    ) -> bool:
+        assert receiver.proc is not None
+        receiver_proc = system.processors[receiver.proc]
+        context = self.ctx_of(receiver_proc, receiver.task_id)
+        committed_write = self._signature_against(system, committer, receiver)
+        return bool(
+            disambiguate(
+                committed_write, context.read_signature, context.write_signature
+            )
+        )
+
+    def commit_update_cache(
+        self,
+        system: "TlsSystem",
+        committer: TaskState,
+        proc: "TlsProcessor",
+    ) -> None:
+        assert committer.proc is not None
+        committer_proc = system.processors[committer.proc]
+        committer_ctx = self.ctx_of(committer_proc, committer.task_id)
+        bdm = self.bdm_of(proc)
+        before_false = bdm.stats.false_commit_invalidations
+        invalidated, merged, writeback_invalidated = bdm.commit_invalidate(
+            proc.cache,
+            committer_ctx.write_signature,
+            fetch_committed_line=system.memory.load_line,
+            exact_written_lines=committer.write_lines(),
+            # Word-granularity TLS needs the writeback-invalidate rule
+            # for non-speculative dirty lines the committer partially
+            # overwrote (see BulkDisambiguationModule.commit_invalidate).
+            invalidate_nonspec_dirty=True,
+        )
+        system.stats.commit_invalidations += invalidated
+        system.stats.merged_lines += merged
+        system.stats.false_commit_invalidations += (
+            bdm.stats.false_commit_invalidations - before_false
+        )
+        for _ in range(writeback_invalidated):
+            system.bus.record(MessageKind.WRITEBACK)
+
+    # ------------------------------------------------------------------
+    # Squash and cleanup
+    # ------------------------------------------------------------------
+
+    def squash_cleanup(
+        self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
+    ) -> None:
+        bdm = self.bdm_of(proc)
+        context = self.ctx_of(proc, state.task_id)
+        bdm.squash_invalidate(proc.cache, context, invalidate_read_lines=True)
+        context.clear()
+
+    def on_commit_cleanup(
+        self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
+    ) -> None:
+        bdm = self.bdm_of(proc)
+        contexts = proc.scheme_state["ctx"]
+        context = contexts.pop(state.task_id, None)
+        if context is not None:
+            bdm.release_context(context)
+        self._spawn_write_snapshot.pop(state.task_id + 1, None)
+
+
+def bdm_expansion(bdm: BulkDisambiguationModule, signature: Signature, proc):
+    """Signature expansion of an arbitrary signature over a processor's
+    cache using its BDM decoder (helper for the spawn flush)."""
+    from repro.core.expansion import expand_signature
+
+    return expand_signature(signature, proc.cache, bdm.decoder)

@@ -1,0 +1,161 @@
+"""The conflict-detection scheme interface of the TLS simulator.
+
+Mirrors :mod:`repro.tm.conflict` but for TLS semantics: in-order task
+commit, eager data forwarding, squash propagation to children, Partial
+Overlap, and word-grain disambiguation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional, Set
+
+from repro.tls.task import TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tls.system import TlsProcessor, TlsSystem
+
+
+class TlsScheme(abc.ABC):
+    """Strategy object for one TLS conflict-detection scheme."""
+
+    #: Human-readable scheme name.
+    name: str = "abstract"
+    #: Whether the exact-oracle dependence classification should apply the
+    #: Partial Overlap exclusion for first children.  True for schemes
+    #: that implement overlap (Bulk, Lazy); False for BulkNoOverlap,
+    #: whose live-in squashes are *correct* under its own semantics.
+    overlap_reference: bool = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+
+    def setup_processor(self, system: "TlsSystem", proc: "TlsProcessor") -> None:
+        """Called for every processor at system construction."""
+
+    def can_accept_task(self, system: "TlsSystem", proc: "TlsProcessor") -> bool:
+        """Whether the processor can take another resident task (Bulk is
+        limited by free BDM version contexts; conventional schemes are
+        assumed to have version IDs and always accept)."""
+        return True
+
+    def on_dispatch(
+        self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
+    ) -> None:
+        """A task begins (or re-begins) executing on a processor."""
+
+    def on_spawn_point(
+        self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
+    ) -> None:
+        """The task's cursor reached its spawn position (each attempt)."""
+
+    # ------------------------------------------------------------------
+    # Access hooks
+    # ------------------------------------------------------------------
+
+    def eager_check_store(
+        self,
+        system: "TlsSystem",
+        proc: "TlsProcessor",
+        state: TaskState,
+        byte_address: int,
+    ) -> Optional[int]:
+        """Eager only: id of the least-speculative task that must be
+        squashed by this store (children follow automatically), or
+        ``None``."""
+        return None
+
+    def prepare_store(
+        self,
+        system: "TlsSystem",
+        proc: "TlsProcessor",
+        state: TaskState,
+        line_address: int,
+    ) -> Optional[int]:
+        """Pre-store policy hook (Bulk's Set Restriction).
+
+        Returns the task id whose commit this store must wait for (a
+        Wr-Wr Set Restriction conflict), or ``None`` to proceed.
+        """
+        return None
+
+    def record_load(
+        self,
+        system: "TlsSystem",
+        proc: "TlsProcessor",
+        state: TaskState,
+        byte_address: int,
+    ) -> None:
+        """A load was performed (exact sets already updated)."""
+
+    def record_store(
+        self,
+        system: "TlsSystem",
+        proc: "TlsProcessor",
+        state: TaskState,
+        byte_address: int,
+    ) -> None:
+        """A store was performed (exact sets already updated)."""
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def commit_packet(self, system: "TlsSystem", state: TaskState) -> int:
+        """Charge the commit broadcast; returns the packet size in bytes."""
+
+    def receiver_conflict(
+        self,
+        system: "TlsSystem",
+        committer: TaskState,
+        receiver: TaskState,
+    ) -> bool:
+        """Commit-time disambiguation of one active, more-speculative
+        task against the committer (Lazy and Bulk; Eager returns False)."""
+        return False
+
+    def commit_update_cache(
+        self,
+        system: "TlsSystem",
+        committer: TaskState,
+        proc: "TlsProcessor",
+    ) -> None:
+        """Invalidate (and, at word grain, merge) the committer's written
+        lines in one processor's cache."""
+
+    # ------------------------------------------------------------------
+    # Squash and cleanup
+    # ------------------------------------------------------------------
+
+    def squash_cleanup(
+        self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
+    ) -> None:
+        """Discard the squashed task's cache footprint: its dirty written
+        lines *and* the lines it read (Section 6.3), plus any
+        scheme-private state."""
+
+    def on_commit_cleanup(
+        self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
+    ) -> None:
+        """Release scheme state after the task committed."""
+
+    # ------------------------------------------------------------------
+    # Exact oracle
+    # ------------------------------------------------------------------
+
+    def exact_dependence(
+        self, committer: TaskState, receiver: TaskState
+    ) -> Set[int]:
+        """The exact dependence set (words) an ideal scheme with this
+        scheme's overlap semantics would compute — classifies squashes as
+        true or false positives."""
+        effective = committer.write_words
+        if (
+            self.overlap_reference
+            and receiver.task_id == committer.task_id + 1
+            and committer.shadow_write_words is not None
+        ):
+            effective = committer.shadow_write_words
+        return effective & (receiver.read_words | receiver.write_words)

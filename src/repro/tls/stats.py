@@ -1,0 +1,107 @@
+"""Statistics collected by a TLS run — the inputs to Table 6 and Fig. 10."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coherence.bus import BandwidthBreakdown
+
+
+@dataclass
+class TlsStats:
+    """Aggregated counters over one TLS simulation."""
+
+    #: Tasks committed (equals the number of tasks — every task commits
+    #: eventually).
+    committed_tasks: int = 0
+    #: Total squash events, including cascaded child squashes.
+    squashes: int = 0
+    #: Squashes of the directly conflicting task (children excluded) —
+    #: the denominator of the *Dep Set Size* column.
+    direct_squashes: int = 0
+    #: Squashes whose exact dependence set was empty (signature aliasing)
+    #: — Table 6's *Sq (%)* False Positives column counts these among
+    #: direct squashes.
+    false_positive_squashes: int = 0
+    #: Sum of |exact W_C ∩ (R_R ∪ W_R)| in words over direct squashes.
+    dependence_words: int = 0
+    #: Sums over committed tasks of exact set sizes in words.
+    read_set_words: int = 0
+    write_set_words: int = 0
+    #: Lines invalidated in receiver caches at commits.
+    commit_invalidations: int = 0
+    #: Subset invalidated purely through aliasing (*False Inv/Com*).
+    false_commit_invalidations: int = 0
+    #: Lines merged word-wise at commits (Section 4.4 path; Bulk only).
+    merged_lines: int = 0
+    #: Non-speculative dirty lines written back for the Set Restriction
+    #: (*Safe WB/Tsk*; Bulk only).
+    safe_writebacks: int = 0
+    #: Wr-Wr Set Restriction conflicts — a task wrote a set holding
+    #: another speculative task's dirty lines (*Wr-Wr Cnf/1k Tasks*).
+    wr_wr_conflicts: int = 0
+    #: Total cycles of the parallel run.
+    cycles: int = 0
+    #: Cycles of the sequential reference execution (set by the harness).
+    sequential_cycles: int = 0
+    bandwidth: BandwidthBreakdown = field(default_factory=BandwidthBreakdown)
+
+    # ------------------------------------------------------------------
+    # Table 6 derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def avg_read_set(self) -> float:
+        """Average exact read-set size in words per committed task."""
+        if not self.committed_tasks:
+            return 0.0
+        return self.read_set_words / self.committed_tasks
+
+    @property
+    def avg_write_set(self) -> float:
+        """Average exact write-set size in words per committed task."""
+        if not self.committed_tasks:
+            return 0.0
+        return self.write_set_words / self.committed_tasks
+
+    @property
+    def avg_dependence_set(self) -> float:
+        """Average dependence-set size in words per direct squash."""
+        if not self.direct_squashes:
+            return 0.0
+        return self.dependence_words / self.direct_squashes
+
+    @property
+    def false_squash_percent(self) -> float:
+        """Percentage of direct squashes caused by aliasing alone."""
+        if not self.direct_squashes:
+            return 0.0
+        return 100.0 * self.false_positive_squashes / self.direct_squashes
+
+    @property
+    def false_invalidations_per_commit(self) -> float:
+        """Falsely invalidated lines per commit, over all caches."""
+        if not self.committed_tasks:
+            return 0.0
+        return self.false_commit_invalidations / self.committed_tasks
+
+    @property
+    def safe_writebacks_per_task(self) -> float:
+        """Safe writebacks per committed task."""
+        if not self.committed_tasks:
+            return 0.0
+        return self.safe_writebacks / self.committed_tasks
+
+    @property
+    def wr_wr_conflicts_per_1k_tasks(self) -> float:
+        """Wr-Wr Set Restriction conflicts per thousand tasks."""
+        if not self.committed_tasks:
+            return 0.0
+        return 1000.0 * self.wr_wr_conflicts / self.committed_tasks
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the sequential reference execution."""
+        if not self.cycles:
+            return 0.0
+        return self.sequential_cycles / self.cycles

@@ -1,0 +1,44 @@
+"""Transactional Memory system simulator (paper Sections 6.2 and 7).
+
+Eight processors (Table 5), private 32 KB L1s, an invalidation-based bus,
+and three interchangeable conflict-detection schemes:
+
+* :class:`~repro.tm.eager.EagerScheme` — exact, per-access disambiguation,
+  with the footnote-2 livelock mitigation;
+* :class:`~repro.tm.lazy.LazyScheme` — exact, commit-time disambiguation
+  with enumerated-address commit packets;
+* :class:`~repro.tm.bulk.BulkScheme` — signature-based lazy disambiguation
+  through the BDM, with RLE-compressed signature commit packets, the Set
+  Restriction, overflow filtering, and optional closed-nesting partial
+  rollback (Bulk-Partial).
+
+Exact per-transaction read/write sets are maintained for *every* scheme:
+for Eager and Lazy they are the mechanism; for Bulk they are a
+simulator-only oracle used to classify false positives (Tables 6/7) while
+all of Bulk's decisions are taken on signatures alone.
+"""
+
+from repro.tm.params import TmParams, TM_DEFAULTS
+from repro.tm.txstate import Section, TxnState
+from repro.tm.processor import TmProcessor
+from repro.tm.conflict import TmScheme
+from repro.tm.eager import EagerScheme
+from repro.tm.lazy import LazyScheme
+from repro.tm.bulk import BulkScheme
+from repro.tm.system import TmSystem, TmRunResult
+from repro.tm.stats import TmStats
+
+__all__ = [
+    "TmParams",
+    "TM_DEFAULTS",
+    "Section",
+    "TxnState",
+    "TmProcessor",
+    "TmScheme",
+    "EagerScheme",
+    "LazyScheme",
+    "BulkScheme",
+    "TmSystem",
+    "TmRunResult",
+    "TmStats",
+]

@@ -1,0 +1,328 @@
+"""The Bulk conflict-detection scheme (the paper's contribution).
+
+Per-access work: add the address to the running version context's R/W
+signatures in the BDM (plus the current section's signatures when partial
+rollback is enabled).  Speculative stores are *silent* — no invalidations
+until commit.
+
+Commit: broadcast one RLE-compressed write signature; every receiver
+performs bulk disambiguation (Equation 1) against its section signatures
+in order, squashing (or partially rolling back) on a hit, and then bulk
+invalidation of the committed signature over its cache (Section 4.3).
+
+Squash: bulk-invalidate the victim's dirty lines using its own write
+signature — safe because of delta-exactness and the Set Restriction.
+
+Exact read/write sets maintained by the system serve purely as an oracle
+to classify false-positive squashes and false invalidations (Table 7);
+no decision consults them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.coherence.message import MessageKind
+from repro.core.bdm import (
+    BulkDisambiguationModule,
+    SetRestrictionAction,
+    VersionContext,
+)
+from repro.core.rle import rle_encode
+from repro.core.signature import Signature
+from repro.errors import SimulationError
+from repro.mem.address import byte_to_line
+from repro.tm.conflict import TmScheme
+from repro.tm.processor import TmProcessor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tm.system import TmSystem
+
+
+class BulkScheme(TmScheme):
+    """Signature-based lazy disambiguation through the BDM."""
+
+    name = "Bulk"
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def setup_processor(self, system: "TmSystem", proc: TmProcessor) -> None:
+        threads_per_core = system.params.threads_per_core
+        if threads_per_core > 1:
+            first = system.processors[
+                (proc.pid // threads_per_core) * threads_per_core
+            ]
+            if proc is not first:
+                # Co-resident hardware threads share the core's BDM —
+                # each gets its own version context within it.
+                proc.scheme_state["bdm"] = first.scheme_state["bdm"]
+                return
+        proc.scheme_state["bdm"] = BulkDisambiguationModule(
+            system.params.signature_config,
+            system.params.geometry,
+            num_contexts=system.params.bdm_contexts,
+        )
+
+    @staticmethod
+    def bdm_of(proc: TmProcessor) -> BulkDisambiguationModule:
+        """The processor's BDM."""
+        return proc.scheme_state["bdm"]
+
+    @staticmethod
+    def _ctx(proc: TmProcessor):
+        context = proc.scheme_state.get("ctx")
+        if context is None:
+            raise SimulationError(
+                f"processor {proc.pid} has no running BDM context"
+            )
+        return context
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def on_txn_begin(self, system: "TmSystem", proc: TmProcessor) -> None:
+        bdm = self.bdm_of(proc)
+        context = bdm.allocate_context(proc.pid)
+        if context is None:
+            raise SimulationError(
+                f"BDM of processor {proc.pid} is out of version contexts"
+            )
+        bdm.set_running(context)
+        proc.scheme_state["ctx"] = context
+
+    # ------------------------------------------------------------------
+    # Access hooks
+    # ------------------------------------------------------------------
+
+    def eager_check(
+        self,
+        system: "TmSystem",
+        proc: TmProcessor,
+        byte_address: int,
+        is_store: bool,
+    ) -> Optional[int]:
+        """Bulk detects conflicts lazily, but the Set Restriction's (0,1)
+        case — another version context in this core owns dirty lines in
+        the target set — must be resolved *before* the store proceeds.
+        To stay livelock-free, the shorter-running of the two
+        transactions yields: the owner is squashed, or the requester
+        stalls until the owner commits (the "preempting the thread"
+        option of Section 4.5)."""
+        if not is_store or proc.txn is None:
+            return None
+        bdm = self.bdm_of(proc)
+        context = proc.scheme_state.get("ctx")
+        if context is None:
+            return None
+        bdm.set_running(context)
+        line_address = byte_to_line(byte_address)
+        if bdm.store_set_action(line_address) is not SetRestrictionAction.CONFLICT:
+            return None
+        set_index = proc.cache.set_index(line_address)
+        owner_context = bdm.speculative_owner_of_set(set_index)
+        if owner_context is None or owner_context.owner is None:
+            return None
+        system.stats.set_restriction_conflicts += 1
+        owner_proc = system.processors[owner_context.owner]
+        if self._run_length(owner_proc) > self._run_length(proc) or (
+            self._run_length(owner_proc) == self._run_length(proc)
+            and owner_proc.pid < proc.pid
+        ):
+            return owner_proc.pid  # requester stalls (strict order: no cycles)
+        system.squash_preempted_context(proc, owner_context)
+        return None
+
+    @staticmethod
+    def _run_length(proc: TmProcessor) -> int:
+        if proc.txn is None:
+            return 0
+        return proc.cursor - proc.txn.start_cursor
+
+    def prepare_store(
+        self, system: "TmSystem", proc: TmProcessor, line_address: int
+    ) -> None:
+        """Enforce the Set Restriction before the store updates the cache.
+
+        The (0,1) conflict case was already resolved by
+        :meth:`eager_check`; here only the safe-writeback case remains.
+        """
+        bdm = self.bdm_of(proc)
+        bdm.set_running(self._ctx(proc))
+        action = bdm.store_set_action(line_address)
+        if action is not SetRestrictionAction.WRITEBACK_NONSPEC:
+            return
+        set_index = proc.cache.set_index(line_address)
+        for line in proc.cache.dirty_lines_in_set(set_index):
+            # Non-speculative dirty data always mirrors memory in this
+            # model, so the writeback is pure bandwidth plus a clean bit.
+            system.bus.record(MessageKind.WRITEBACK)
+            proc.cache.clean(line.line_address)
+            bdm.note_safe_writeback()
+            system.stats.safe_writebacks += 1
+
+    def record_load(
+        self, system: "TmSystem", proc: TmProcessor, byte_address: int
+    ) -> None:
+        bdm = self.bdm_of(proc)
+        bdm.set_running(self._ctx(proc))
+        bdm.record_load(byte_address)
+        assert proc.txn is not None
+        section = proc.txn.current
+        if section.read_signature is not None:
+            section.read_signature.add(
+                bdm.config.granularity.from_byte(byte_address)
+            )
+
+    def record_store(
+        self, system: "TmSystem", proc: TmProcessor, byte_address: int
+    ) -> None:
+        bdm = self.bdm_of(proc)
+        bdm.set_running(self._ctx(proc))
+        bdm.record_store(byte_address)
+        assert proc.txn is not None
+        section = proc.txn.current
+        if section.write_signature is not None:
+            section.write_signature.add(
+                bdm.config.granularity.from_byte(byte_address)
+            )
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def commit_packet(self, system: "TmSystem", proc: TmProcessor) -> int:
+        """One RLE-compressed signature, regardless of write-set size."""
+        signature = self._commit_signature(proc)
+        payload = len(rle_encode(signature))
+        return system.bus.record(
+            MessageKind.COMMIT_SIGNATURE,
+            payload_bytes=payload,
+            is_commit_traffic=True,
+        )
+
+    def _commit_signature(self, proc: TmProcessor) -> Signature:
+        """W_1 ∪ ... ∪ W_n of the committing transaction (Figure 8)."""
+        context = self._ctx(proc)
+        return context.write_signature
+
+    def receiver_conflict(
+        self,
+        system: "TmSystem",
+        committer: TmProcessor,
+        receiver: TmProcessor,
+    ) -> Optional[int]:
+        assert receiver.txn is not None
+        committed_write = self._commit_signature(committer)
+        for index, section in enumerate(receiver.txn.sections):
+            read_sig = section.read_signature
+            write_sig = section.write_signature
+            assert read_sig is not None and write_sig is not None
+            if committed_write.intersects(read_sig) or committed_write.intersects(
+                write_sig
+            ):
+                return index
+        return None
+
+    def commit_update_receiver(
+        self,
+        system: "TmSystem",
+        committer: TmProcessor,
+        receiver: TmProcessor,
+    ) -> None:
+        """Bulk invalidation of W_C over the receiver's cache."""
+        assert committer.txn is not None
+        bdm = self.bdm_of(receiver)
+        before = bdm.stats.false_commit_invalidations
+        invalidated, _, _ = bdm.commit_invalidate(
+            receiver.cache,
+            self._commit_signature(committer),
+            fetch_committed_line=None,
+            exact_written_lines=committer.txn.all_write_lines(),
+        )
+        system.stats.commit_invalidations += invalidated
+        system.stats.false_commit_invalidations += (
+            bdm.stats.false_commit_invalidations - before
+        )
+
+    def commit_cleanup(self, system: "TmSystem", proc: TmProcessor) -> None:
+        bdm = self.bdm_of(proc)
+        bdm.release_context(self._ctx(proc))
+        proc.scheme_state.pop("ctx", None)
+
+    # ------------------------------------------------------------------
+    # Squash
+    # ------------------------------------------------------------------
+
+    def squash_cleanup(
+        self, system: "TmSystem", proc: TmProcessor, from_section: int
+    ) -> None:
+        assert proc.txn is not None
+        bdm = self.bdm_of(proc)
+        context = self._ctx(proc)
+        if from_section == 0:
+            bdm.squash_invalidate(proc.cache, context)
+            context.clear()
+            return
+        # Partial rollback: invalidate only with the union of the
+        # discarded sections' write signatures, then rebuild the context's
+        # registers from the kept sections.
+        discarded = Signature(bdm.config)
+        for section in proc.txn.sections[from_section:]:
+            assert section.write_signature is not None
+            discarded.union_update(section.write_signature)
+        scratch = VersionContext(context.slot, bdm.config)
+        scratch.write_signature = discarded
+        bdm.squash_invalidate(proc.cache, scratch)
+        context.read_signature.clear()
+        context.write_signature.clear()
+        for section in proc.txn.sections[:from_section]:
+            assert section.read_signature is not None
+            assert section.write_signature is not None
+            context.read_signature.union_update(section.read_signature)
+            context.write_signature.union_update(section.write_signature)
+        context.delta_mask = bdm.decoder.decode(context.write_signature)
+        system.stats.partial_rollbacks += 1
+
+    # ------------------------------------------------------------------
+    # Non-speculative invalidations and overflow
+    # ------------------------------------------------------------------
+
+    def nonspec_inval_check(
+        self, system: "TmSystem", proc: TmProcessor, byte_address: int
+    ) -> bool:
+        """Membership test a ∈ R ∨ a ∈ W (Section 4.2)."""
+        context = proc.scheme_state.get("ctx")
+        if context is None:
+            return False
+        granule = byte_to_line(byte_address)
+        return (
+            granule in context.read_signature
+            or granule in context.write_signature
+        )
+
+    def miss_checks_overflow(
+        self, system: "TmSystem", proc: TmProcessor, byte_address: int
+    ) -> bool:
+        """The membership filter of Section 6.2.2 — Bulk's overflow-access
+        advantage over Lazy in Table 7."""
+        context = proc.scheme_state.get("ctx")
+        if context is None or not proc.has_overflow():
+            return False
+        return self.bdm_of(proc).miss_needs_overflow_check(context, byte_address)
+
+    def overflow_disambiguation_cost(
+        self,
+        system: "TmSystem",
+        committer: TmProcessor,
+        receiver: TmProcessor,
+    ) -> None:
+        """Nothing: Bulk disambiguates on signatures alone, never touching
+        the overflowed addresses in memory."""
+
+    def on_spec_eviction(self, system: "TmSystem", proc: TmProcessor) -> None:
+        context = proc.scheme_state.get("ctx")
+        if context is not None:
+            self.bdm_of(proc).note_speculative_eviction(context)

@@ -1,0 +1,645 @@
+"""The TM system simulator: processors, bus, memory, and the run loop.
+
+Execution is trace-driven: each processor steps through its
+:class:`~repro.sim.trace.ThreadTrace`, and the system always advances the
+processor with the smallest local clock, giving a deterministic
+interleaving.  Commits serialise on the bus; squashed transactions rewind
+their cursor and re-execute.
+
+Correctness instrumentation
+---------------------------
+The simulator enforces two oracles while running:
+
+* **Stale-read detection** — every load's cached value must equal the
+  value the thread is architecturally allowed to observe (its own write
+  log, else committed memory).  Any bug in commit invalidation, squash
+  invalidation, or non-speculative invalidation trips this immediately.
+* **Serialisability by construction check** — committed write logs are
+  applied to a single architectural :class:`~repro.mem.memory.WordMemory`
+  in commit order; tests replay the recorded commit order serially and
+  require identical final memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.coherence.bus import Bus
+from repro.coherence.message import MessageKind
+from repro.errors import SimulationError
+from repro.mem.address import byte_to_line, byte_to_word
+from repro.mem.memory import WordMemory
+from repro.sim.engine import MinClockScheduler
+from repro.sim.trace import EventKind, MemEvent, ThreadTrace
+from repro.tm.conflict import TmScheme
+from repro.tm.params import TM_DEFAULTS, TmParams
+from repro.tm.processor import TmProcessor
+from repro.tm.stats import TmStats
+from repro.tm.txstate import TxnState
+
+#: One Figure 15 sample: (committed write set, receiver read set, receiver
+#: write set) of a disambiguation whose exact dependence set was empty.
+DisambiguationSample = Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]
+
+
+@dataclass
+class TmRunResult:
+    """Everything a finished TM run exposes."""
+
+    scheme: str
+    cycles: int
+    stats: TmStats
+    memory: WordMemory
+    #: txn ids in global commit order (the serialisation witness).
+    commit_order: List[int] = field(default_factory=list)
+    #: Figure 15 samples, if collection was enabled.
+    samples: List[DisambiguationSample] = field(default_factory=list)
+
+
+class TmSystem:
+    """An 8-processor (by default) TM machine running one scheme."""
+
+    def __init__(
+        self,
+        traces: Sequence[ThreadTrace],
+        scheme: TmScheme,
+        params: TmParams = TM_DEFAULTS,
+        collect_samples: bool = False,
+        max_samples: int = 4000,
+    ) -> None:
+        if not traces:
+            raise SimulationError("a TM system needs at least one thread trace")
+        self.params = params
+        self.scheme = scheme
+        self.memory = WordMemory()
+        self.bus = Bus(
+            commit_occupancy_cycles=params.commit_occupancy_cycles,
+            bytes_per_cycle=params.bus_bytes_per_cycle,
+        )
+        self.stats = TmStats()
+        self.processors: List[TmProcessor] = [
+            TmProcessor(pid, trace, params.geometry)
+            for pid, trace in enumerate(traces)
+        ]
+        # SMT-style cores: consecutive hardware threads share one cache
+        # (and, for Bulk, one BDM — multiple version contexts at once).
+        if params.threads_per_core > 1:
+            from repro.tm.bulk import BulkScheme as _BulkScheme
+
+            if not isinstance(scheme, _BulkScheme):
+                raise SimulationError(
+                    "threads_per_core > 1 requires the Bulk scheme: a "
+                    "conventional multi-versioned cache needs per-line "
+                    "version IDs and multiple copies per line, which the "
+                    "unmodified cache model deliberately lacks"
+                )
+            for proc in self.processors:
+                first = self.processors[
+                    (proc.pid // params.threads_per_core)
+                    * params.threads_per_core
+                ]
+                proc.cache = first.cache
+        self.collect_samples = collect_samples
+        self.max_samples = max_samples
+        self.samples: List[DisambiguationSample] = []
+        self.commit_order: List[int] = []
+        self._scheduler: Optional[MinClockScheduler] = None
+        #: Logs of committed (txn id -> write log) in commit order, used
+        #: by the serialisability oracle.
+        self.committed_logs: List[Tuple[int, Dict[int, int]]] = []
+        scheme.setup(self)
+        for proc in self.processors:
+            scheme.setup_processor(self, proc)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> TmRunResult:
+        """Execute every trace to completion and return the results."""
+        scheduler = MinClockScheduler()
+        self._scheduler = scheduler
+        for proc in self.processors:
+            if proc.at_end():
+                proc.done = True
+            else:
+                scheduler.push(proc.clock, proc.pid, proc.epoch)
+        while True:
+            entry = scheduler.pop()
+            if entry is None:
+                break
+            _, pid, epoch = entry
+            proc = self.processors[pid]
+            if proc.done or epoch != proc.epoch or proc.waiting_on is not None:
+                continue
+            self._step(proc)
+            if proc.done or proc.waiting_on is not None:
+                continue
+            scheduler.push(proc.clock, proc.pid, proc.epoch)
+        self._scheduler = None
+
+        stuck = [p.pid for p in self.processors if not p.done]
+        if stuck:
+            raise SimulationError(
+                f"TM simulation deadlocked; processors {stuck} never finished"
+            )
+        self.stats.cycles = max(proc.clock for proc in self.processors)
+        self.stats.bandwidth = self.bus.bandwidth
+        return TmRunResult(
+            scheme=self.scheme.name,
+            cycles=self.stats.cycles,
+            stats=self.stats,
+            memory=self.memory,
+            commit_order=self.commit_order,
+            samples=self.samples,
+        )
+
+    # ------------------------------------------------------------------
+    # One step of one processor
+    # ------------------------------------------------------------------
+
+    def _step(self, proc: TmProcessor) -> None:
+        event = proc.current_event()
+        kind = event.kind
+        if kind is EventKind.COMPUTE:
+            proc.clock += event.cycles
+            proc.cursor += 1
+        elif kind is EventKind.TX_BEGIN:
+            self._begin(proc)
+        elif kind is EventKind.TX_END:
+            self._end(proc)
+        elif kind is EventKind.LOAD:
+            self._access(proc, event, is_store=False)
+        elif kind is EventKind.STORE:
+            self._access(proc, event, is_store=True)
+        else:  # pragma: no cover - exhaustive over EventKind
+            raise SimulationError(f"unhandled event kind {kind!r}")
+        if proc.cursor >= len(proc.trace.events) and proc.txn is None:
+            proc.done = True
+            self._release_waiters(proc, proc.clock)
+
+    def _begin(self, proc: TmProcessor) -> None:
+        if proc.txn is None:
+            proc.txn = TxnState(
+                proc.fresh_txn_id(),
+                start_cursor=proc.cursor,
+                signature_config=self._signature_config_for_txns(),
+            )
+            self.scheme.on_txn_begin(self, proc)
+            proc.clock += self.params.begin_overhead_cycles
+        else:
+            proc.txn.depth += 1
+            if self.params.partial_rollback:
+                proc.txn.push_section(proc.cursor + 1)
+                self.scheme.on_inner_begin(self, proc)
+        proc.cursor += 1
+
+    def _signature_config_for_txns(self):
+        from repro.tm.bulk import BulkScheme
+
+        if isinstance(self.scheme, BulkScheme):
+            return self.params.signature_config
+        return None
+
+    def _end(self, proc: TmProcessor) -> None:
+        if proc.txn is None:
+            raise SimulationError(f"TX_END with no open transaction on {proc.pid}")
+        if proc.txn.depth > 1:
+            proc.txn.depth -= 1
+            if self.params.partial_rollback:
+                proc.txn.push_section(proc.cursor + 1)
+                self.scheme.on_inner_end(self, proc)
+            proc.cursor += 1
+            return
+        self._commit(proc)
+
+    # ------------------------------------------------------------------
+    # Memory accesses
+    # ------------------------------------------------------------------
+
+    def _access(self, proc: TmProcessor, event: MemEvent, is_store: bool) -> None:
+        if proc.txn is not None:
+            stall_on = self.scheme.eager_check(
+                self, proc, event.address, is_store
+            )
+            if stall_on is not None:
+                target = self.processors[stall_on]
+                if target.txn is None or target.done:
+                    # The conflicting transaction is already gone; retry.
+                    proc.clock += 1
+                    return
+                proc.waiting_on = stall_on
+                target.waiters.append(proc.pid)
+                return
+        if is_store:
+            self._store(proc, event.address, event.value)
+        else:
+            self._load(proc, event.address)
+        proc.cursor += 1
+
+    def _expected_value(self, proc: TmProcessor, word_address: int) -> int:
+        if proc.txn is not None:
+            speculative = proc.txn.lookup_word(word_address)
+            if speculative is not None:
+                return speculative
+        return self.memory.load(word_address)
+
+    def _spec_writer_of_line(self, cache, line_address: int) -> Optional[TmProcessor]:
+        """The thread whose live transaction wrote a line held in
+        ``cache`` (the thread itself or, in an SMT core, a co-resident
+        one), or ``None`` if the dirty line is non-speculative."""
+        for candidate in self.processors:
+            if candidate.cache is not cache:
+                continue
+            if candidate.txn is not None and line_address in (
+                candidate.txn.all_write_lines()
+            ):
+                return candidate
+        return None
+
+    def _coresident_spec_owner(
+        self, proc: TmProcessor, line_address: int
+    ) -> Optional[TmProcessor]:
+        """The co-resident hardware thread whose transaction wrote a line
+        of the shared cache, if any (only possible with SMT cores)."""
+        if self.params.threads_per_core <= 1:
+            return None
+        writer = self._spec_writer_of_line(proc.cache, line_address)
+        if writer is proc:
+            return None
+        return writer
+
+    def _load(self, proc: TmProcessor, byte_address: int) -> None:
+        word = byte_to_word(byte_address)
+        line_address = byte_to_line(byte_address)
+        expected = self._expected_value(proc, word)
+        line = proc.cache.lookup(line_address)
+        if line is not None and line.dirty and (
+            self._coresident_spec_owner(proc, line_address) is not None
+        ):
+            # The shared cache holds a co-resident thread's speculative
+            # version.  The BDM screens the request (the set is covered
+            # by another context's delta(W)) and nacks it; the committed
+            # value is served from memory without disturbing the cached
+            # speculative line (Section 4.5's external-request rule,
+            # applied within the core).
+            proc.clock += self.params.miss_cycles
+            self.bus.record(MessageKind.NACK)
+            self.bus.record(MessageKind.FILL)
+        elif line is not None:
+            proc.clock += self.params.hit_cycles
+            observed = line.read_word(word)
+            if observed != expected:
+                raise SimulationError(
+                    f"stale read: proc {proc.pid} loads word 0x{word:x} and "
+                    f"sees {observed}, architecture requires {expected} "
+                    f"(scheme {self.scheme.name})"
+                )
+        else:
+            self._miss_fill(proc, byte_address, line_address)
+        if proc.txn is not None:
+            proc.txn.record_load(byte_address)
+            self.scheme.record_load(self, proc, byte_address)
+
+    def _store(self, proc: TmProcessor, byte_address: int, value: int) -> None:
+        line_address = byte_to_line(byte_address)
+        if proc.txn is not None:
+            self.scheme.prepare_store(self, proc, line_address)
+            line = proc.cache.lookup(line_address)
+            if line is not None:
+                proc.clock += self.params.hit_cycles
+            else:
+                line = self._miss_fill(proc, byte_address, line_address)
+            line.write_word(byte_to_word(byte_address), value)
+            proc.txn.record_store(byte_address, value)
+            self.scheme.record_store(self, proc, byte_address)
+            return
+        # Non-speculative store: globally visible immediately.
+        self._nonspec_store(proc, byte_address, value, line_address)
+
+    def _nonspec_store(
+        self, proc: TmProcessor, byte_address: int, value: int, line_address: int
+    ) -> None:
+        word = byte_to_word(byte_address)
+        if self.params.threads_per_core > 1:
+            # A non-speculative dirty line must not join a cache set
+            # owned by a co-resident thread's speculative context (the
+            # Set Restriction also binds non-speculative writers,
+            # Section 4.3); the speculative owner is squashed.
+            from repro.tm.bulk import BulkScheme as _BulkScheme
+
+            if isinstance(self.scheme, _BulkScheme):
+                bdm = self.scheme.bdm_of(proc)
+                set_index = self.params.geometry.set_index(line_address)
+                owner = bdm.speculative_owner_of_set(set_index)
+                if owner is not None and owner.owner != proc.pid:
+                    self.squash_preempted_context(proc, owner)
+        self.memory.store(word, value)
+        line = proc.cache.lookup(line_address)
+        if line is not None:
+            proc.clock += self.params.hit_cycles
+        else:
+            line = self._miss_fill(proc, byte_address, line_address)
+        line.write_word(word, value)
+        # Squash remote transactions that touched the address, then
+        # invalidate remote copies.
+        for other in self.processors:
+            if other is proc or other.txn is None:
+                continue
+            if self.scheme.nonspec_inval_check(self, other, byte_address):
+                exact = (
+                    byte_to_line(byte_address) in other.txn.all_read_granules()
+                    or byte_to_line(byte_address) in other.txn.all_write_granules()
+                )
+                self.squash(
+                    victim=other,
+                    from_section=0,
+                    now=proc.clock,
+                    dependence_granules=1 if exact else 0,
+                    false_positive=not exact,
+                )
+        any_copy = False
+        for other in self.processors:
+            if other is proc or other.cache is proc.cache:
+                continue
+            if other.cache.invalidate(line_address) is not None:
+                any_copy = True
+        if any_copy:
+            self.bus.record(MessageKind.INVALIDATION)
+
+    def _miss_fill(self, proc: TmProcessor, byte_address: int, line_address: int):
+        """Service a miss: overflow area first (if the scheme says so),
+        else memory, with coherence charges.  Returns the filled line."""
+        proc.clock += self.params.miss_cycles
+        if proc.txn is not None and self.scheme.miss_checks_overflow(
+            self, proc, byte_address
+        ):
+            proc.clock += self.params.overflow_access_cycles
+            self.charge_overflow_access(1)
+            assert proc.overflow_area is not None
+            data = proc.overflow_area.lookup(line_address)
+            if data is not None:
+                victim = proc.cache.fill(line_address, data, dirty=True)
+                self._handle_victim(proc, victim)
+                line = proc.cache.lookup(line_address, touch=False)
+                assert line is not None
+                return line
+        words = list(self.memory.load_line(line_address))
+        dirty = False
+        if proc.txn is not None:
+            # Overlay the thread's own speculative values (a line may have
+            # been partially written, evicted, and refetched).
+            log = proc.txn.merged_write_log()
+            base = line_address << 4
+            for offset in range(16):
+                value = log.get(base + offset)
+                if value is not None:
+                    words[offset] = value
+                    dirty = True
+        self._charge_fill_coherence(proc, line_address)
+        victim = proc.cache.fill(line_address, words, dirty=dirty)
+        self._handle_victim(proc, victim)
+        line = proc.cache.lookup(line_address, touch=False)
+        assert line is not None
+        return line
+
+    def _charge_fill_coherence(self, proc: TmProcessor, line_address: int) -> None:
+        self.bus.record(MessageKind.FILL)
+        for other in self.processors:
+            if other is proc or other.cache is proc.cache:
+                continue
+            remote = other.cache.lookup(line_address, touch=False)
+            if remote is None or not remote.dirty:
+                continue
+            if self._spec_writer_of_line(other.cache, line_address) is not None:
+                # Speculative dirty data (possibly a co-resident thread's
+                # in an SMT core): the request is nacked and memory
+                # responds with the committed version.
+                self.bus.record(MessageKind.NACK)
+            else:
+                # Non-speculative dirty: the owner downgrades (its data
+                # matches memory in this model).
+                self.bus.record(MessageKind.DOWNGRADE)
+                other.cache.clean(line_address)
+            break
+
+    def _handle_victim(self, proc: TmProcessor, victim) -> None:
+        if victim is None or not victim.dirty:
+            return
+        # The speculative owner may be this thread or (in an SMT core) a
+        # co-resident thread sharing the cache.
+        owner: Optional[TmProcessor] = None
+        if proc.txn is not None and victim.line_address in (
+            proc.txn.all_write_lines()
+        ):
+            owner = proc
+        else:
+            owner = self._coresident_spec_owner(proc, victim.line_address)
+        if owner is not None:
+            area = owner.ensure_overflow_area()
+            area.spill(victim.line_address, victim.snapshot_words())
+            self.charge_overflow_access(1)
+            self.scheme.on_spec_eviction(self, owner)
+        else:
+            self.bus.record(MessageKind.WRITEBACK)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def _commit(self, proc: TmProcessor) -> None:
+        txn = proc.txn
+        assert txn is not None
+        packet_bytes = self.scheme.commit_packet(self, proc)
+        commit_end = self.bus.acquire_commit(proc.clock, packet_bytes)
+        proc.clock = commit_end + self.params.commit_overhead_cycles
+        now = proc.clock
+
+        self.stats.committed_transactions += 1
+        self.stats.read_set_granules += len(txn.all_read_granules())
+        self.stats.write_set_granules += len(txn.all_write_granules())
+        if proc.has_overflow():
+            self.stats.overflowed_transactions += 1
+
+        committed_writes = txn.all_write_granules()
+        updated_caches = {id(proc.cache)}
+        for other in self.processors:
+            if other is proc:
+                continue
+            if other.txn is not None:
+                if other.has_overflow():
+                    self.scheme.overflow_disambiguation_cost(self, proc, other)
+                exact_dep = committed_writes & (
+                    other.txn.all_read_granules() | other.txn.all_write_granules()
+                )
+                section = self.scheme.receiver_conflict(self, proc, other)
+                if (
+                    self.collect_samples
+                    and not exact_dep
+                    and len(self.samples) < self.max_samples
+                ):
+                    self.samples.append(
+                        (
+                            frozenset(committed_writes),
+                            frozenset(other.txn.all_read_granules()),
+                            frozenset(other.txn.all_write_granules()),
+                        )
+                    )
+                if section is not None:
+                    self.squash(
+                        victim=other,
+                        from_section=section,
+                        now=now,
+                        dependence_granules=len(exact_dep),
+                        false_positive=not exact_dep,
+                    )
+            # Commit invalidation runs once per *cache*: a co-resident
+            # thread shares the committer's own cache (whose lines are
+            # the freshly committed data), and receiver threads sharing
+            # a core must not invalidate their common cache twice.
+            if id(other.cache) not in updated_caches:
+                updated_caches.add(id(other.cache))
+                self.scheme.commit_update_receiver(self, proc, other)
+
+        # Make the transaction's state architectural, in section order.
+        for word, value in txn.merged_write_log().items():
+            self.memory.store(word, value)
+        self.committed_logs.append((txn.txn_id, txn.merged_write_log()))
+        self.commit_order.append(txn.txn_id)
+
+        # Propagate the committed data: the writeback of each written
+        # line happens at commit (its cached copy turns clean).  Keeping
+        # committed lines dirty would make every *later* transaction's
+        # first store to their cache sets pay a Set Restriction safe
+        # writeback — far beyond the ~1/transaction the paper reports.
+        for line_address in txn.all_write_lines():
+            line = proc.cache.lookup(line_address, touch=False)
+            if line is not None and line.dirty:
+                self.bus.record(MessageKind.WRITEBACK)
+                proc.cache.clean(line_address)
+
+        if proc.overflow_area is not None and proc.overflow_area.allocated:
+            drained = proc.overflow_area.drain()
+            if drained:
+                self.charge_overflow_access(len(drained))
+            proc.overflow_area = None
+
+        self.scheme.commit_cleanup(self, proc)
+        proc.txn = None
+        proc.cursor += 1
+        self._release_waiters(proc, now)
+
+    # ------------------------------------------------------------------
+    # Squash
+    # ------------------------------------------------------------------
+
+    def squash(
+        self,
+        victim: TmProcessor,
+        from_section: int,
+        now: int,
+        dependence_granules: int,
+        false_positive: bool,
+    ) -> None:
+        """Squash (or partially roll back) a transaction and restart it."""
+        txn = victim.txn
+        if txn is None:
+            raise SimulationError(f"squash of idle processor {victim.pid}")
+        self.stats.squashes += 1
+        if false_positive:
+            self.stats.false_positive_squashes += 1
+        self.stats.dependence_granules += dependence_granules
+        per_proc = self.stats.squashes_by_processor
+        per_proc[victim.pid] = per_proc.get(victim.pid, 0) + 1
+
+        partial = self.params.partial_rollback and from_section > 0
+        self.scheme.squash_cleanup(self, victim, from_section if partial else 0)
+        if partial:
+            victim.cursor = txn.discard_sections_from(from_section)
+            txn.attempts += 1
+        else:
+            txn.reset_for_restart()
+            victim.cursor = txn.start_cursor + 1
+        if txn.attempts > self.params.max_attempts_per_txn:
+            raise SimulationError(
+                f"transaction on processor {victim.pid} restarted "
+                f"{txn.attempts} times — livelock (scheme {self.scheme.name})"
+            )
+        if victim.overflow_area is not None and victim.overflow_area.allocated:
+            if not victim.overflow_area.is_empty():
+                self.charge_overflow_access(1)
+            victim.overflow_area.deallocate()
+            victim.overflow_area = None
+
+        victim.clock = max(victim.clock, now) + self.params.squash_overhead_cycles
+        victim.epoch += 1
+        victim.waiting_on = None
+        if self._scheduler is not None:
+            self._scheduler.push(victim.clock, victim.pid, victim.epoch)
+        self._release_waiters(victim, victim.clock)
+
+    def squash_preempted_context(self, proc: TmProcessor, context) -> None:
+        """Resolve a Set Restriction (0,1) conflict: another version
+        context (a co-resident hardware thread's transaction) owns dirty
+        lines in the set this thread wants to write.  Of the paper's
+        resolution options (preempt, squash the owner, merge), the
+        evaluated one squashes the owning speculative thread."""
+        if context.owner is None or not (
+            0 <= context.owner < len(self.processors)
+        ):
+            raise SimulationError(
+                "Set Restriction conflict against a context with no "
+                "resolvable owner"
+            )
+        victim = self.processors[context.owner]
+        if victim.txn is None:
+            raise SimulationError(
+                f"Set Restriction conflict against idle thread {victim.pid}"
+            )
+        self.squash(
+            victim=victim,
+            from_section=0,
+            now=proc.clock,
+            dependence_granules=0,
+            false_positive=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def charge_overflow_access(self, count: int) -> None:
+        """Account ``count`` overflow-area accesses (bus UB + stats)."""
+        for _ in range(count):
+            self.bus.record(MessageKind.OVERFLOW_ACCESS)
+        self.stats.overflow_area_accesses += count
+
+    def _release_waiters(self, proc: TmProcessor, now: int) -> None:
+        if not proc.waiters:
+            return
+        waiters, proc.waiters = proc.waiters, []
+        for pid in waiters:
+            waiter = self.processors[pid]
+            if waiter.done:
+                continue
+            waiter.waiting_on = None
+            waiter.clock = max(waiter.clock, now) + 1
+            waiter.epoch += 1
+            if self._scheduler is not None:
+                self._scheduler.push(waiter.clock, waiter.pid, waiter.epoch)
+
+    def replay_serial_reference(self) -> WordMemory:
+        """Re-apply the committed write logs in commit order to a fresh
+        memory — the atomicity witness tests compare against.
+
+        Words only ever written non-transactionally are excluded (they
+        are applied at execution time, which this replay does not model);
+        tests restrict the comparison to transactional words or use
+        workloads without non-transactional stores.
+        """
+        reference = WordMemory()
+        for _, log in self.committed_logs:
+            for word, value in log.items():
+                reference.store(word, value)
+        return reference

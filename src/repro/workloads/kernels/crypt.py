@@ -1,0 +1,91 @@
+"""cb — Java Grande Crypt: IDEA-style block cipher (Table 4).
+
+Threads encrypt disjoint blocks of a shared plaintext array using a
+shared key schedule.  Each block encryption is one transaction: it reads
+the key schedule and its plaintext block and writes the ciphertext
+block.  A shared progress/checksum record is read-modify-written every
+few blocks — the (small) source of cross-thread conflicts, as in the
+lock-converted Java original where the global state is the contended
+part.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.sim.trace import ThreadTrace
+from repro.workloads.kernels.common import (
+    stagger_after_setup,
+    WORD_MASK,
+    AddressSpace,
+    make_builders,
+)
+
+#: Words per plaintext/ciphertext block (24 cache lines).
+BLOCK_WORDS = 384
+#: Words of key schedule (the IDEA schedule is 52 sub-keys).
+KEY_WORDS = 52
+
+
+def build(
+    num_threads: int = 8,
+    txns_per_thread: int = 24,
+    seed: int = 0,
+) -> List[ThreadTrace]:
+    """Generate the crypt traces."""
+    rng = random.Random(seed)
+    space = AddressSpace(rng)
+    space.array("key", KEY_WORDS)
+    total_blocks = num_threads * txns_per_thread
+    # Blocks are separately allocated buffers (each 24 lines).
+    space.record_array("plain", total_blocks, BLOCK_WORDS)
+    space.record_array("cipher", total_blocks, BLOCK_WORDS)
+    space.array("progress", 16)
+    for tid in range(num_threads):
+        space.array(f"scratch{tid}", 32)
+
+    builders = make_builders(num_threads, space)
+
+    # Initialise the key schedule and plaintext non-transactionally from
+    # thread 0 (the Java original's single-threaded setup phase).
+    setup = builders[0]
+    key = [rng.randrange(1, 1 << 16) for _ in range(KEY_WORDS)]
+    for i, sub_key in enumerate(key):
+        setup.st("key", i, sub_key)
+    for block in range(total_blocks):
+        for offset in range(0, BLOCK_WORDS, 8):
+            setup.st(
+                "plain",
+                block * BLOCK_WORDS + offset,
+                (block * 2654435761 + offset) & WORD_MASK,
+            )
+    setup.work(200)
+    stagger_after_setup(builders)
+
+    for round_index in range(txns_per_thread):
+        for tid, builder in enumerate(builders):
+            block = tid * txns_per_thread + round_index
+            base = block * BLOCK_WORDS
+            builder.begin()
+            # Read the key schedule (shared, read-only).
+            schedule = [builder.ld("key", i) for i in range(KEY_WORDS)]
+            checksum = 0
+            # Encrypt: read every other plaintext word, write ciphertext.
+            for offset in range(0, BLOCK_WORDS, 2):
+                plain = builder.ld("plain", base + offset)
+                sub_key = schedule[offset % KEY_WORDS]
+                cipher = ((plain * 3) ^ sub_key ^ (plain >> 7)) & WORD_MASK
+                builder.st("cipher", base + offset, cipher)
+                checksum = (checksum + cipher) & WORD_MASK
+            builder.work(40)
+            if round_index % 4 == tid % 4:
+                # Contended global progress record.
+                builder.rmw("progress", 0, 1)
+                builder.rmw("progress", 1 + tid % 8, checksum & 0xFF)
+            builder.end()
+            # Non-transactional inter-block bookkeeping (private).
+            builder.st(f"scratch{tid}", block % 32, checksum)
+            builder.work(30 + rng.randrange(20))
+
+    return [builder.build() for builder in builders]

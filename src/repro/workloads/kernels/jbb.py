@@ -1,0 +1,143 @@
+"""sjbb2k — SPECjbb2000-style business logic (Table 4).
+
+Warehouses, districts, stock and order tables; each transaction
+processes a new order: it read-modify-writes the district's
+next-order-id (a hot, symmetric ``ld A; st A`` — the Figure 12(a)
+pattern), reads the customer record, walks the order's items through the
+shared stock table (read-modify-writing quantities), and inserts the
+order lines into its own region of the order table.
+
+Most orders target the thread's own warehouse; a configurable fraction
+are *remote*, hitting another warehouse's district counter — the
+cross-thread contention that makes Eager visibly slower than Lazy on
+this workload in Figure 11 (both the forward-progress problem of
+Figure 12(a) and the unnecessary squash of Figure 12(b)).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.sim.trace import ThreadTrace
+from repro.workloads.kernels.common import (
+    stagger_after_setup,
+    WORD_MASK,
+    AddressSpace,
+    make_builders,
+)
+
+DISTRICTS_PER_WAREHOUSE = 4
+#: Words per district record (next_order_id, ytd, tax, ... — 2 lines).
+DISTRICT_WORDS = 32
+#: Words per customer record (TPC-C rows are wide — 8 lines).
+CUSTOMER_WORDS = 128
+CUSTOMERS_PER_WAREHOUSE = 16
+#: Words per stock record (4 lines).
+STOCK_WORDS = 64
+NUM_ITEMS = 256
+#: Words per order line record.
+ORDER_LINE_WORDS = 8
+ITEMS_PER_ORDER = 8
+
+
+def build(
+    num_threads: int = 8,
+    txns_per_thread: int = 24,
+    seed: int = 6,
+    remote_fraction: float = 0.35,
+) -> List[ThreadTrace]:
+    """Generate the SPECjbb2000-style traces."""
+    rng = random.Random(seed)
+    space = AddressSpace(rng)
+    warehouses = num_threads
+    # Database rows are heap objects: every record gets its own
+    # allocator-scattered location.
+    space.record_array(
+        "districts", warehouses * DISTRICTS_PER_WAREHOUSE, DISTRICT_WORDS
+    )
+    space.record_array(
+        "customers", warehouses * CUSTOMERS_PER_WAREHOUSE, CUSTOMER_WORDS
+    )
+    space.record_array("stock", NUM_ITEMS, STOCK_WORDS)
+    total_orders = num_threads * txns_per_thread
+    space.array("orders", total_orders * ITEMS_PER_ORDER * ORDER_LINE_WORDS)
+    for tid in range(num_threads):
+        space.array(f"scratch{tid}", 64)
+
+    builders = make_builders(num_threads, space)
+
+    setup = builders[0]
+    for district in range(warehouses * DISTRICTS_PER_WAREHOUSE):
+        setup.st("districts", district * DISTRICT_WORDS, 1)
+        setup.st("districts", district * DISTRICT_WORDS + 1, 0)
+    for item in range(NUM_ITEMS):
+        setup.st("stock", item * STOCK_WORDS, 100)
+    for customer in range(warehouses * CUSTOMERS_PER_WAREHOUSE):
+        setup.st("customers", customer * CUSTOMER_WORDS, customer)
+    setup.work(150)
+    stagger_after_setup(builders)
+
+    for round_index in range(txns_per_thread):
+        for tid, builder in enumerate(builders):
+            order = tid * txns_per_thread + round_index
+            if rng.random() < remote_fraction:
+                warehouse = rng.randrange(warehouses)
+            else:
+                warehouse = tid
+            district = (
+                warehouse * DISTRICTS_PER_WAREHOUSE
+                + rng.randrange(DISTRICTS_PER_WAREHOUSE)
+            )
+            customer = (
+                warehouse * CUSTOMERS_PER_WAREHOUSE
+                + rng.randrange(CUSTOMERS_PER_WAREHOUSE)
+            )
+            items = rng.sample(range(NUM_ITEMS), ITEMS_PER_ORDER)
+
+            builder.begin()
+            # Read the district counter at the *start* of the order and
+            # write the incremented value back at the *end* — the hot
+            # symmetric ld A ... st A pattern of Figure 12.  The long gap
+            # between read and write is what hurts Eager: a remote store
+            # in the window squashes all the work in between, and two
+            # orders on the same district squash each other repeatedly
+            # (Figure 12(a)) unless the mitigation steps in, whereas
+            # under Lazy the first committer simply wins.
+            order_id = builder.ld("districts", district * DISTRICT_WORDS)
+            # Read the customer record (every other word — all 8 lines).
+            for field in range(0, CUSTOMER_WORDS, 2):
+                builder.ld("customers", customer * CUSTOMER_WORDS + field)
+            total = 0
+            # The item walk is a *nested* transaction (a synchronized
+            # helper inside the order method) — the structure Bulk-Partial
+            # can partially roll back (Section 6.2.1, Figure 8).
+            builder.begin()
+            for position, item in enumerate(items):
+                stock_base = item * STOCK_WORDS
+                quantity = builder.ld("stock", stock_base)
+                builder.st("stock", stock_base, (quantity - 1) & WORD_MASK)
+                builder.ld("stock", stock_base + 17)
+                builder.ld("stock", stock_base + 33)
+                price = (item * 7 + 5) & 0xFFFF
+                total = (total + price) & WORD_MASK
+                line = (order * ITEMS_PER_ORDER + position) * ORDER_LINE_WORDS
+                builder.st("orders", line, order_id)
+                builder.st("orders", line + 1, item)
+                builder.st("orders", line + 2, price)
+            builder.end()
+            builder.work(60)
+            builder.st(
+                "districts", district * DISTRICT_WORDS, (order_id + 1) & WORD_MASK
+            )
+            builder.rmw("districts", district * DISTRICT_WORDS + 16, 10)
+            builder.end()
+            # Non-transactional bookkeeping between orders (private
+            # scratch — exercises the non-speculative access paths and
+            # their individual invalidations).
+            scratch = f"scratch{tid}"
+            builder.st(scratch, order % 64, order & WORD_MASK)
+            builder.ld(scratch, (order + 7) % 64)
+            builder.work(25 + rng.randrange(25))
+
+    return [builder.build() for builder in builders]

@@ -1,0 +1,97 @@
+"""moldyn — Java Grande molecular dynamics (Table 4).
+
+Spatially decomposed N-body force computation: particles live in *cells*
+(multi-line heap objects, as a neighbour-list MD code lays them out), and
+threads own cell ranges.  Each transaction processes one of the thread's
+cells: it reads the positions of the cell and its neighbour cells and
+read-modify-writes force accumulators — mostly its own cell's, but also
+the adjacent cell's for boundary pairs (Newton's third law), which is the
+genuine cross-thread write-write sharing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.sim.trace import ThreadTrace
+from repro.workloads.kernels.common import (
+    stagger_after_setup,
+    WORD_MASK,
+    AddressSpace,
+    fix,
+    make_builders,
+)
+
+#: Particles per spatial cell.
+PARTICLES_PER_CELL = 8
+#: Words per particle record (position + velocity + padding).
+PARTICLE_WORDS = 8
+#: Words per cell object — 4 cache lines.
+CELL_WORDS = PARTICLES_PER_CELL * PARTICLE_WORDS
+#: Cells in the system (2 per thread at 8 threads).
+NUM_CELLS = 16
+
+
+def build(
+    num_threads: int = 8,
+    txns_per_thread: int = 24,
+    seed: int = 4,
+) -> List[ThreadTrace]:
+    """Generate the molecular-dynamics traces."""
+    rng = random.Random(seed)
+    space = AddressSpace(rng)
+    # Cells are independently allocated heap objects of several lines.
+    space.record_array("positions", NUM_CELLS, CELL_WORDS)
+    space.record_array("forces", NUM_CELLS, CELL_WORDS)
+
+    builders = make_builders(num_threads, space)
+
+    setup = builders[0]
+    for cell in range(NUM_CELLS):
+        for word in range(CELL_WORDS):
+            setup.st("positions", cell * CELL_WORDS + word, fix((cell * 37 + word) % 41 / 4.0))
+            setup.st("forces", cell * CELL_WORDS + word, 0)
+    setup.work(120)
+    stagger_after_setup(builders)
+
+    cells_per_thread = NUM_CELLS // num_threads
+
+    for round_index in range(txns_per_thread):
+        for tid, builder in enumerate(builders):
+            cell = tid * cells_per_thread + (round_index % cells_per_thread)
+            neighbour = (cell + 1) % NUM_CELLS
+            builder.begin()
+            # Read the positions of the cell and its neighbour cell.
+            own_pos = [
+                builder.ld("positions", cell * CELL_WORDS + w)
+                for w in range(0, CELL_WORDS, 2)
+            ]
+            neigh_pos = [
+                builder.ld("positions", neighbour * CELL_WORDS + w)
+                for w in range(0, CELL_WORDS, 2)
+            ]
+            builder.work(150)
+            # Intra-cell pair forces: accumulate into the own force cell.
+            for index, position in enumerate(own_pos):
+                force = (position * 3 - own_pos[(index + 1) % len(own_pos)]) & WORD_MASK
+                builder.rmw("forces", cell * CELL_WORDS + index * 2, force)
+            # Boundary pairs: update both adjacent cells' accumulators
+            # (Newton's third law) — the cross-thread write-write sharing.
+            previous = (cell - 1) % NUM_CELLS
+            for index in range(0, PARTICLES_PER_CELL, 4):
+                force = (own_pos[index] - neigh_pos[index]) & WORD_MASK
+                builder.rmw(
+                    "forces",
+                    neighbour * CELL_WORDS + index * PARTICLE_WORDS,
+                    (-force) & WORD_MASK,
+                )
+                builder.rmw(
+                    "forces",
+                    previous * CELL_WORDS + index * PARTICLE_WORDS,
+                    force,
+                )
+            builder.end()
+            builder.work(20 + rng.randrange(10))
+
+    return [builder.build() for builder in builders]

@@ -1,0 +1,92 @@
+"""mc — Java Grande Monte Carlo simulation (Table 4).
+
+Threads simulate independent price paths (private work) and fold each
+result into shared global accumulators — the classic
+compute-privately / combine-under-lock structure, lock converted to a
+transaction.  The accumulator read-modify-writes are small and hot:
+exactly the symmetric ``ld A; st A`` pattern of Figure 12(a) that makes
+Eager schemes struggle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.sim.trace import ThreadTrace
+from repro.workloads.kernels.common import (
+    stagger_after_setup,
+    WORD_MASK,
+    AddressSpace,
+    fix,
+    make_builders,
+)
+
+#: Words of one simulated path's private scratch (8 lines).
+PATH_WORDS = 128
+
+
+def build(
+    num_threads: int = 8,
+    txns_per_thread: int = 24,
+    seed: int = 3,
+) -> List[ThreadTrace]:
+    """Generate the Monte Carlo traces."""
+    rng = random.Random(seed)
+    space = AddressSpace(rng)
+    space.array("params", 64)
+    space.array("market", 1024)  # shared, read-only rate curves
+    space.array("sums", 16)
+    for tid in range(num_threads):
+        space.array(f"path{tid}", PATH_WORDS)
+        space.array(f"partial{tid}", 16)
+        space.array(f"results{tid}", 64 * txns_per_thread)
+
+    builders = make_builders(num_threads, space)
+
+    setup = builders[0]
+    for i in range(64):
+        setup.st("params", i, fix(0.01 * (i + 1)))
+    for i in range(0, 1024, 4):
+        setup.st("market", i, fix(1.0 + (i % 97) / 31.0))
+    setup.work(80)
+    stagger_after_setup(builders)
+
+    for round_index in range(txns_per_thread):
+        for tid, builder in enumerate(builders):
+            scratch = f"path{tid}"
+            # Private path simulation outside the transaction.
+            value = (tid * 1315423911 + round_index * 2654435761) & WORD_MASK
+            for step in range(0, PATH_WORDS, 2):
+                value = (value * 1103515245 + 12345) & WORD_MASK
+                builder.st(scratch, step, value)
+            builder.work(200)
+            # Fold into the per-thread partials transactionally, and
+            # periodically (staggered per thread) into the shared global
+            # accumulators — the contended step of the original.
+            builder.begin()
+            for i in range(0, 64, 8):
+                builder.ld("params", i)
+            # Re-price against the shared market curves (wide read set).
+            price = 0
+            for i in range(0, 1024, 16):
+                price = (price + builder.ld("market", i)) & WORD_MASK
+            sample = (value + price) & 0xFFFF
+            # Persist the priced path into the thread's results block.
+            results = f"results{tid}"
+            base = round_index * 64
+            for offset in range(0, 64, 2):
+                builder.st(
+                    results, base + offset, (sample * (offset + 1)) & WORD_MASK
+                )
+            partial = f"partial{tid}"
+            builder.rmw(partial, 0, sample)
+            builder.rmw(partial, 1, (sample * sample) & 0xFFFF)
+            if (round_index + tid) % 4 == 0:
+                builder.rmw("sums", 0, sample)  # running sum
+                builder.rmw("sums", 1, (sample * sample) & 0xFFFF)
+                builder.rmw("sums", 2, 1)  # count
+            builder.end()
+            builder.work(15 + rng.randrange(10))
+
+    return [builder.build() for builder in builders]

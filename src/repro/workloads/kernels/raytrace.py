@@ -1,0 +1,97 @@
+"""jgrt — Java Grande 3D ray tracer (Table 4).
+
+Threads render tiles of the image: each tile is a transaction that reads
+the shared scene (spheres, lights) and writes its tile's pixels into the
+framebuffer.  The original's shared checksum accumulation — serialised
+under a lock, converted to a transaction — is the contended state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.sim.trace import ThreadTrace
+from repro.workloads.kernels.common import (
+    stagger_after_setup,
+    WORD_MASK,
+    AddressSpace,
+    fix,
+    make_builders,
+)
+
+#: Words per sphere record (centre, radius, colour, ...).
+SPHERE_WORDS = 8
+#: Spheres per bounding-volume node (a node is one multi-line object).
+SPHERES_PER_NODE = 8
+NUM_NODES = 16
+NUM_SPHERES = NUM_NODES * SPHERES_PER_NODE
+#: Words per scene node — 4 cache lines.
+NODE_WORDS = SPHERES_PER_NODE * SPHERE_WORDS
+#: Pixels (words) per rendered tile — 16 cache lines of framebuffer.
+TILE_PIXELS = 256
+
+
+def build(
+    num_threads: int = 8,
+    txns_per_thread: int = 24,
+    seed: int = 1,
+) -> List[ThreadTrace]:
+    """Generate the ray-tracer traces."""
+    rng = random.Random(seed)
+    space = AddressSpace(rng)
+    # Scene nodes and framebuffer tiles are multi-line heap objects,
+    # each allocated at its own scattered location.
+    space.record_array("scene", NUM_NODES, NODE_WORDS)
+    space.array("lights", 64)
+    total_tiles = num_threads * txns_per_thread
+    space.record_array("framebuffer", total_tiles, TILE_PIXELS)
+    space.array("checksum", 8)
+
+    builders = make_builders(num_threads, space)
+
+    setup = builders[0]
+    for sphere in range(NUM_SPHERES):
+        for field in range(SPHERE_WORDS):
+            setup.st(
+                "scene",
+                sphere * SPHERE_WORDS + field,
+                fix((sphere * 13 + field) * 0.37),
+            )
+    for i in range(64):
+        setup.st("lights", i, fix(i * 0.21 + 1.0))
+    setup.work(150)
+    stagger_after_setup(builders)
+
+    for round_index in range(txns_per_thread):
+        for tid, builder in enumerate(builders):
+            tile = tid * txns_per_thread + round_index
+            base = tile * TILE_PIXELS
+            builder.begin()
+            # Intersect against the scene nodes the ray's frustum touches
+            # (spatial-structure pruning) plus the lights.
+            tested = rng.sample(range(NUM_NODES), 6)
+            accumulator = 0
+            for node in sorted(tested):
+                for field in range(0, NODE_WORDS, 2):
+                    accumulator ^= builder.ld(
+                        "scene", node * NODE_WORDS + field
+                    )
+            for i in range(0, 64, 4):
+                accumulator = (accumulator + builder.ld("lights", i)) & WORD_MASK
+            builder.work(120)
+            # Shade the tile.
+            tile_sum = 0
+            for pixel in range(0, TILE_PIXELS, 2):
+                colour = (accumulator * (pixel + 1) + tile * 97) & WORD_MASK
+                builder.st("framebuffer", base + pixel, colour)
+                tile_sum = (tile_sum + colour) & WORD_MASK
+            # Contended checksum (the Java original's synchronised
+            # block), folded in periodically with per-thread phase so the
+            # global accumulation stays a modest conflict source.
+            if (round_index + tid) % 4 == 0:
+                builder.rmw("checksum", 0, tile_sum & 0xFFFF)
+            builder.end()
+            builder.work(25 + rng.randrange(15))
+
+    return [builder.build() for builder in builders]

@@ -1,0 +1,79 @@
+"""series — Java Grande Fourier coefficient analysis (Table 4).
+
+Each transaction computes one Fourier coefficient pair by numerically
+integrating over a shared, read-only sample array and writes the pair
+into its own slot of the coefficient table.  The workload is nearly
+embarrassingly parallel — long compute, wide read-only sharing, tiny
+disjoint write sets — with only an occasional shared norm accumulation.
+It anchors the low-conflict end of the TM evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.sim.trace import ThreadTrace
+from repro.workloads.kernels.common import (
+    stagger_after_setup,
+    WORD_MASK,
+    AddressSpace,
+    fix,
+    make_builders,
+)
+
+#: Words of the shared integrand sample table (32 lines).
+SAMPLE_WORDS = 512
+
+
+def build(
+    num_threads: int = 8,
+    txns_per_thread: int = 24,
+    seed: int = 5,
+) -> List[ThreadTrace]:
+    """Generate the Fourier-series traces."""
+    rng = random.Random(seed)
+    space = AddressSpace(rng)
+    space.array("samples", SAMPLE_WORDS)
+    total = num_threads * txns_per_thread
+    # One cache line per coefficient pair: the Java original's object
+    # array has no false sharing between threads' slots.
+    space.array("coefficients", total * 16)
+    space.array("norm", 8)
+    for tid in range(num_threads):
+        # Per-thread integration scratch: partial sums per sub-interval.
+        space.array(f"work{tid}", 256)
+
+    builders = make_builders(num_threads, space)
+
+    setup = builders[0]
+    for i in range(SAMPLE_WORDS):
+        setup.st("samples", i, fix((i % 100) / 10.0 + 0.5))
+    setup.work(100)
+    stagger_after_setup(builders)
+
+    for round_index in range(txns_per_thread):
+        for tid, builder in enumerate(builders):
+            coefficient = tid * txns_per_thread + round_index
+            builder.begin()
+            # Trapezoidal integration over a strided sample subset,
+            # accumulating per-sub-interval partials into the thread's
+            # scratch block (a realistic intermediate write set).
+            scratch = f"work{tid}"
+            a_sum = 0
+            b_sum = 0
+            for i in range(0, SAMPLE_WORDS, 4):
+                sample = builder.ld("samples", i)
+                a_sum = (a_sum + sample * ((i + coefficient) % 7)) & WORD_MASK
+                b_sum = (b_sum + sample * ((i * coefficient + 3) % 5)) & WORD_MASK
+                if i % 16 == 12:
+                    builder.st(scratch, (i // 16) * 8 % 256, a_sum)
+            builder.work(400)
+            builder.st("coefficients", coefficient * 16, a_sum)
+            builder.st("coefficients", coefficient * 16 + 1, b_sum)
+            if round_index % 8 == 7:
+                builder.rmw("norm", 0, a_sum & 0xFFF)
+            builder.end()
+            builder.work(30 + rng.randrange(20))
+
+    return [builder.build() for builder in builders]

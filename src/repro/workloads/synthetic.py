@@ -1,0 +1,104 @@
+"""Parameterised synthetic TM workload generator.
+
+Used by the test suite (quick, shape-controlled workloads) and by
+signature-accuracy studies that need transactions with prescribed
+footprints rather than a particular algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.mem.address import BYTES_PER_LINE, BYTES_PER_WORD
+from repro.sim.trace import (
+    MemEvent,
+    ThreadTrace,
+    compute,
+    load,
+    store,
+    tx_begin,
+    tx_end,
+)
+
+
+@dataclass(frozen=True)
+class SyntheticTmConfig:
+    """Shape of a synthetic TM workload."""
+
+    num_threads: int = 8
+    txns_per_thread: int = 20
+    #: Lines read / written per transaction (on average).
+    read_set_lines: int = 40
+    write_set_lines: int = 12
+    #: Probability that a transaction touches the shared conflict region.
+    conflict_prob: float = 0.2
+    #: Lines in the shared conflict region (smaller = hotter).
+    conflict_lines: int = 8
+    #: Lines in each thread's private region.
+    private_lines: int = 4096
+    #: Compute cycles between memory bursts.
+    compute_cycles: int = 60
+    #: Non-transactional events between transactions.
+    nonspec_events: int = 2
+
+
+def build_synthetic_tm(
+    config: SyntheticTmConfig, seed: int = 0
+) -> List[ThreadTrace]:
+    """Generate one trace per thread."""
+    rng = random.Random(seed)
+    private_base = 0x100_0000
+    shared_base = 0x800_0000
+
+    def private_addr(tid: int, line: int, word: int) -> int:
+        return (
+            private_base
+            + tid * config.private_lines * BYTES_PER_LINE
+            + (line % config.private_lines) * BYTES_PER_LINE
+            + (word % 16) * BYTES_PER_WORD
+        )
+
+    def shared_addr(line: int, word: int) -> int:
+        return (
+            shared_base
+            + (line % config.conflict_lines) * BYTES_PER_LINE
+            + (word % 16) * BYTES_PER_WORD
+        )
+
+    traces: List[ThreadTrace] = []
+    for tid in range(config.num_threads):
+        events: List[MemEvent] = []
+        for txn in range(config.txns_per_thread):
+            events.append(tx_begin())
+            base_line = rng.randrange(config.private_lines)
+            for i in range(config.read_set_lines):
+                events.append(
+                    load(private_addr(tid, base_line + i, rng.randrange(16)))
+                )
+            events.append(compute(config.compute_cycles))
+            for i in range(config.write_set_lines):
+                events.append(
+                    store(
+                        private_addr(tid, base_line + i, rng.randrange(16)),
+                        tid * 100_000 + txn * 100 + i,
+                    )
+                )
+            if rng.random() < config.conflict_prob:
+                line = rng.randrange(config.conflict_lines)
+                events.append(load(shared_addr(line, 0)))
+                events.append(
+                    store(shared_addr(line, 0), tid * 1000 + txn)
+                )
+            events.append(tx_end())
+            for _ in range(config.nonspec_events):
+                events.append(
+                    store(
+                        private_addr(tid, rng.randrange(config.private_lines), 0),
+                        rng.randrange(1 << 16),
+                    )
+                )
+            events.append(compute(config.compute_cycles // 2 + 1))
+        traces.append(ThreadTrace(tid, events))
+    return traces

@@ -1,0 +1,74 @@
+"""Tests for the signature accuracy harness (Figure 15 machinery)."""
+
+import pytest
+
+from repro.analysis.accuracy import (
+    average_compressed_bits,
+    collect_tm_samples,
+    false_positive_fraction,
+    sweep_signature_configs,
+)
+from repro.core.signature_config import (
+    SignatureConfig,
+    TABLE8_CONFIGS,
+    default_tm_config,
+)
+from repro.mem.address import Granularity
+
+
+def hand_samples():
+    """Samples with known-disjoint sets (clustered, like real traffic)."""
+    samples = []
+    for i in range(40):
+        base_w = (i * 977) << 8
+        base_r = ((i * 977) << 8) + 0x100000
+        wc = frozenset(base_w + j for j in range(8))
+        rr = frozenset(base_r + j for j in range(20))
+        samples.append((wc, rr, frozenset()))
+    return samples
+
+
+class TestFalsePositiveFraction:
+    def test_empty_samples(self):
+        assert false_positive_fraction(default_tm_config(), []) == 0.0
+
+    def test_tiny_signature_aliases_more(self):
+        tiny = SignatureConfig.make((4, 4), Granularity.LINE, name="tiny")
+        big = default_tm_config()
+        samples = hand_samples()
+        assert false_positive_fraction(tiny, samples) >= (
+            false_positive_fraction(big, samples)
+        )
+
+    def test_true_dependences_always_fire(self):
+        # Not a "false" positive: overlapping sets must intersect.
+        config = default_tm_config()
+        overlap = [(frozenset({1, 2}), frozenset({2}), frozenset())]
+        assert false_positive_fraction(config, overlap) == 1.0
+
+
+class TestSweep:
+    def test_rows_cover_requested_configs(self):
+        subset = {k: TABLE8_CONFIGS[k] for k in ("S1", "S14")}
+        rows = sweep_signature_configs(
+            subset, hand_samples(), permutations_per_config=1
+        )
+        assert [row.name for row in rows] == ["S1", "S14"]
+        for row in rows:
+            assert row.fp_best <= row.fp_nominal <= row.fp_worst
+            assert row.full_size_bits == TABLE8_CONFIGS[row.name].size_bits
+
+    def test_compressed_smaller_than_full(self):
+        config = TABLE8_CONFIGS["S14"]
+        assert 0 < average_compressed_bits(config, hand_samples()) < 2048
+
+
+class TestSampleCollection:
+    def test_samples_have_disjoint_exact_sets(self):
+        samples = collect_tm_samples(
+            apps=["series"], txns_per_thread=4, max_samples_per_app=100
+        )
+        assert samples
+        for wc, rr, wr in samples:
+            assert wc  # empty write sets are filtered
+            assert not (wc & rr) and not (wc & wr)

@@ -1,0 +1,37 @@
+"""Tests for bandwidth normalisation."""
+
+import pytest
+
+from repro.analysis.bandwidth import commit_bandwidth_ratio, normalized_breakdown
+from repro.coherence.bus import BandwidthBreakdown
+from repro.coherence.message import BandwidthCategory
+
+
+def breakdown(inv=0, fill=0, commit=0):
+    b = BandwidthBreakdown()
+    b.by_category[BandwidthCategory.INV] = inv
+    b.by_category[BandwidthCategory.FILL] = fill
+    b.commit_bytes = commit
+    return b
+
+
+class TestNormalizedBreakdown:
+    def test_percentages(self):
+        result = normalized_breakdown(breakdown(inv=50, fill=50), 200)
+        assert result["Inv"] == 25.0
+        assert result["Fill"] == 25.0
+        assert result["Total"] == 50.0
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_breakdown(breakdown(), 0)
+
+
+class TestCommitRatio:
+    def test_ratio(self):
+        assert commit_bandwidth_ratio(
+            breakdown(commit=17), breakdown(commit=100)
+        ) == pytest.approx(17.0)
+
+    def test_zero_lazy_commit(self):
+        assert commit_bandwidth_ratio(breakdown(commit=5), breakdown()) == 0.0

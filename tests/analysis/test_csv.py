@@ -1,0 +1,25 @@
+"""Tests for CSV rendering."""
+
+from repro.analysis.report import render_csv
+
+
+class TestRenderCsv:
+    def test_basic(self):
+        out = render_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert out == "a,b\n1,2\n3,4"
+
+    def test_floats_keep_precision(self):
+        out = render_csv(["v"], [[1.23456789]])
+        assert "1.23456789" in out
+
+    def test_commas_and_quotes_escaped(self):
+        out = render_csv(["name"], [['he said "hi, there"']])
+        assert out.splitlines()[1] == '"he said ""hi, there"""'
+
+    def test_round_trip_with_csv_module(self):
+        import csv
+        import io
+
+        out = render_csv(["x", "label"], [[1, "a,b"], [2, 'c"d']])
+        rows = list(csv.reader(io.StringIO(out)))
+        assert rows == [["x", "label"], ["1", "a,b"], ["2", 'c"d']]

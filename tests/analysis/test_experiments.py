@@ -1,0 +1,60 @@
+"""Tests for the end-to-end experiment drivers."""
+
+import pytest
+
+from repro.analysis.experiments import run_tls_comparison, run_tm_comparison
+
+
+class TestTmComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_tm_comparison(
+            "mc", txns_per_thread=4, seed=3, include_partial=True
+        )
+
+    def test_all_schemes_present(self, comparison):
+        assert set(comparison.cycles) == {
+            "Eager", "Lazy", "Bulk", "Bulk-Partial"
+        }
+
+    def test_speedup_over_eager_is_one_for_eager(self, comparison):
+        assert comparison.speedup_over_eager("Eager") == 1.0
+
+    def test_bandwidth_normalisation(self, comparison):
+        breakdown = comparison.bandwidth_vs_eager("Eager")
+        assert breakdown["Total"] == pytest.approx(100.0)
+
+    def test_commit_bandwidth_bulk_below_lazy(self, comparison):
+        # Figure 14: signatures compress commit packets well below
+        # enumerated addresses.
+        ratio = comparison.commit_bandwidth_vs_lazy()
+        assert 0 < ratio < 100
+
+    def test_same_commit_counts_across_schemes(self, comparison):
+        counts = {
+            comparison.stats[s].committed_transactions
+            for s in ("Eager", "Lazy", "Bulk")
+        }
+        assert len(counts) == 1
+
+
+class TestTlsComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_tls_comparison("gzip", num_tasks=50, seed=3)
+
+    def test_all_schemes_present(self, comparison):
+        assert set(comparison.cycles) == {
+            "Eager", "Lazy", "Bulk", "BulkNoOverlap"
+        }
+
+    def test_all_tasks_commit(self, comparison):
+        for stats in comparison.stats.values():
+            assert stats.committed_tasks == 50
+
+    def test_speedups_positive(self, comparison):
+        for scheme in comparison.cycles:
+            assert comparison.speedup(scheme) > 0
+
+    def test_no_overlap_is_slowest_bulk(self, comparison):
+        assert comparison.speedup("BulkNoOverlap") <= comparison.speedup("Bulk")

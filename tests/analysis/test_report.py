@@ -1,0 +1,37 @@
+"""Tests for the plain-text report renderers."""
+
+from repro.analysis.report import render_bars, render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows(self):
+        out = render_table(["App", "Speedup"], [["gzip", 1.25]], title="Fig")
+        lines = out.splitlines()
+        assert lines[0] == "Fig"
+        assert "App" in lines[1] and "Speedup" in lines[1]
+        assert "gzip" in lines[3] and "1.25" in lines[3]
+
+    def test_column_alignment(self):
+        out = render_table(["A"], [["xxxxxxxx"], ["y"]])
+        lines = out.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_float_formatting(self):
+        out = render_table(["V"], [[3.14159]])
+        assert "3.14" in out and "3.1416" not in out
+
+
+class TestRenderBars:
+    def test_bars_scale_to_peak(self):
+        out = render_bars({"a": 1.0, "b": 2.0}, width=10)
+        a_line, b_line = out.splitlines()
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_title_and_unit(self):
+        out = render_bars({"x": 1.0}, title="T", unit="%")
+        assert out.splitlines()[0] == "T"
+        assert "1.00%" in out
+
+    def test_empty_series(self):
+        assert render_bars({}, title="T") == "T"

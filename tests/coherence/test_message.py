@@ -1,0 +1,52 @@
+"""Tests for coherence message sizes and categories."""
+
+import pytest
+
+from repro.coherence.message import (
+    ADDRESS_BYTES,
+    CATEGORY_OF_KIND,
+    HEADER_BYTES,
+    LINE_DATA_BYTES,
+    BandwidthCategory,
+    MessageKind,
+    message_bytes,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSizes:
+    def test_invalidation_is_header_plus_address(self):
+        assert message_bytes(MessageKind.INVALIDATION) == (
+            HEADER_BYTES + ADDRESS_BYTES
+        )
+
+    def test_fill_carries_a_line(self):
+        assert message_bytes(MessageKind.FILL) == (
+            HEADER_BYTES + ADDRESS_BYTES + LINE_DATA_BYTES
+        )
+
+    def test_commit_signature_needs_payload(self):
+        assert message_bytes(MessageKind.COMMIT_SIGNATURE, 45) == HEADER_BYTES + 45
+        with pytest.raises(ConfigurationError):
+            message_bytes(MessageKind.COMMIT_SIGNATURE)
+
+    def test_fixed_kinds_reject_payload(self):
+        with pytest.raises(ConfigurationError):
+            message_bytes(MessageKind.FILL, 10)
+
+
+class TestCategories:
+    def test_every_kind_has_a_category(self):
+        for kind in MessageKind:
+            assert kind in CATEGORY_OF_KIND
+
+    def test_commit_signature_counts_as_inv(self):
+        # Commit traffic lands in Figure 13's Inv category for both the
+        # enumerated (Lazy) and signature (Bulk) forms.
+        assert CATEGORY_OF_KIND[MessageKind.COMMIT_SIGNATURE] is (
+            BandwidthCategory.INV
+        )
+        assert CATEGORY_OF_KIND[MessageKind.INVALIDATION] is BandwidthCategory.INV
+
+    def test_overflow_is_ub(self):
+        assert CATEGORY_OF_KIND[MessageKind.OVERFLOW_ACCESS] is BandwidthCategory.UB

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.geometry import CacheGeometry, TLS_L1_GEOMETRY, TM_L1_GEOMETRY
+from repro.core.signature_config import (
+    SignatureConfig,
+    default_tls_config,
+    default_tm_config,
+)
+from repro.mem.address import Granularity
+
+
+@pytest.fixture
+def tm_config() -> SignatureConfig:
+    """The paper's TM default: S14 over line addresses."""
+    return default_tm_config()
+
+
+@pytest.fixture
+def tls_config() -> SignatureConfig:
+    """The paper's TLS default: S14 over word addresses."""
+    return default_tls_config()
+
+
+@pytest.fixture
+def small_config() -> SignatureConfig:
+    """A deliberately tiny signature that aliases often — used to check
+    that aliasing hurts performance but never correctness."""
+    return SignatureConfig.make((4, 4), Granularity.LINE, name="tiny")
+
+
+@pytest.fixture
+def tm_cache() -> Cache:
+    """A Table 5 TM L1 (32 KB, 4-way)."""
+    return Cache(TM_L1_GEOMETRY)
+
+
+@pytest.fixture
+def tls_cache() -> Cache:
+    """A Table 5 TLS L1 (16 KB, 4-way)."""
+    return Cache(TLS_L1_GEOMETRY)
+
+
+@pytest.fixture
+def tiny_geometry() -> CacheGeometry:
+    """A 4-set, 2-way cache that evicts constantly (overflow tests)."""
+    return CacheGeometry(size_bytes=4 * 2 * 64, associativity=2)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG."""
+    return random.Random(1234)
+
+
+def words_of(*values: int) -> tuple:
+    """A 16-word line with the given leading values, zero padded."""
+    line = list(values) + [0] * (16 - len(values))
+    return tuple(line)

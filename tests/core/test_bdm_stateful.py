@@ -1,0 +1,138 @@
+"""Stateful property test: the BDM's invariants under random operation
+sequences.
+
+A hypothesis rule machine drives a BDM + cache through arbitrary
+interleavings of context allocation, context switches, speculative
+stores (following the Set Restriction discipline the systems implement),
+fills, squashes and commits.  After every step the two Section 4
+invariants must hold:
+
+* the Set Restriction — dirty lines in any cache set have one owner;
+* pairwise-disjoint active write signatures (W_i ∩ W_j = ∅).
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.cache.cache import Cache
+from repro.cache.geometry import CacheGeometry
+from repro.core.bdm import BulkDisambiguationModule, SetRestrictionAction
+from repro.core.signature_config import default_tm_config
+
+#: A small cache (16 sets) so random addresses collide often.
+GEOMETRY = CacheGeometry(size_bytes=16 * 2 * 64, associativity=2)
+
+LINE_ADDRESSES = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+class BdmMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.bdm = BulkDisambiguationModule(
+            default_tm_config(), GEOMETRY, num_contexts=3
+        )
+        self.cache = Cache(GEOMETRY)
+        self.next_owner = 0
+
+    # -- rules ----------------------------------------------------------
+
+    @rule()
+    def allocate(self):
+        context = self.bdm.allocate_context(self.next_owner)
+        if context is not None:
+            self.next_owner += 1
+            if self.bdm.running is None:
+                self.bdm.set_running(context)
+
+    @precondition(lambda self: len(self.bdm.active_contexts()) > 1)
+    @rule(data=st.data())
+    def context_switch(self, data):
+        contexts = self.bdm.active_contexts()
+        target = data.draw(st.sampled_from(contexts))
+        self.bdm.set_running(target)
+
+    @rule(line_address=LINE_ADDRESSES)
+    def fill_clean(self, line_address):
+        if not self.cache.contains(line_address):
+            victim = self.cache.fill(line_address, [0] * 16)
+            # An evicted dirty speculative line would go to the overflow
+            # area; nothing further to model here.
+            del victim
+
+    @precondition(lambda self: self.bdm.running is not None)
+    @rule(line_address=LINE_ADDRESSES)
+    def speculative_store(self, line_address):
+        action = self.bdm.store_set_action(line_address)
+        if action is SetRestrictionAction.CONFLICT:
+            return  # the systems stall or squash; this machine skips
+        if action is SetRestrictionAction.WRITEBACK_NONSPEC:
+            for line in self.cache.dirty_lines_in_set(
+                self.cache.set_index(line_address)
+            ):
+                self.cache.clean(line.line_address)
+        line = self.cache.lookup(line_address)
+        if line is None:
+            victim = self.cache.fill(line_address, [0] * 16)
+            del victim
+            line = self.cache.lookup(line_address, touch=False)
+        line.write_word(line_address << 4, 1)
+        self.bdm.record_store(line_address << 6)
+
+    @precondition(lambda self: self.bdm.running is not None)
+    @rule()
+    def squash_running(self):
+        context = self.bdm.running
+        self.bdm.squash_invalidate(self.cache, context)
+        context.clear()
+
+    @precondition(lambda self: self.bdm.running is not None)
+    @rule()
+    def commit_running(self):
+        context = self.bdm.running
+        # Commit: the context's dirty lines become non-speculative; the
+        # systems write them through, so clean them here.
+        from repro.core.expansion import expand_signature
+
+        for _, line in expand_signature(
+            context.write_signature, self.cache, self.bdm.decoder
+        ):
+            if line.dirty:
+                self.cache.clean(line.line_address)
+        self.bdm.release_context(context)
+        remaining = self.bdm.active_contexts()
+        if remaining:
+            self.bdm.set_running(remaining[0])
+
+    # -- invariants -----------------------------------------------------
+
+    @invariant()
+    def set_restriction_holds(self):
+        self.bdm.assert_set_restriction(self.cache)
+
+    @invariant()
+    def write_signatures_disjoint(self):
+        self.bdm.assert_disjoint_write_signatures()
+
+    @invariant()
+    def dirty_lines_in_owned_sets_only(self):
+        """Every dirty line's set is covered by some active context's
+        delta mask or holds only non-speculative data — and in the
+        latter case no context may claim the set."""
+        for set_index in range(GEOMETRY.num_sets):
+            dirty = self.cache.dirty_lines_in_set(set_index)
+            if not dirty:
+                continue
+            owners = [
+                c
+                for c in self.bdm.active_contexts()
+                if c.delta_mask >> set_index & 1
+            ]
+            assert len(owners) <= 1
+
+
+TestBdmMachine = BdmMachine.TestCase

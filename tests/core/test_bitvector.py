@@ -1,0 +1,88 @@
+"""Tests for the fixed-width bit vector."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitvector import BitVector, iter_set_bits, popcount
+from repro.errors import ConfigurationError
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_known_values(self):
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 100) | 1) == 2
+
+    @given(st.integers(min_value=0, max_value=1 << 256))
+    def test_matches_bin_count(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestIterSetBits:
+    def test_empty(self):
+        assert list(iter_set_bits(0)) == []
+
+    def test_positions_ascending(self):
+        assert list(iter_set_bits(0b101001)) == [0, 3, 5]
+
+    @given(st.sets(st.integers(min_value=0, max_value=500), max_size=40))
+    def test_round_trip(self, positions):
+        value = sum(1 << p for p in positions)
+        assert set(iter_set_bits(value)) == positions
+
+
+class TestBitVector:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            BitVector(0)
+
+    def test_rejects_oversized_value(self):
+        with pytest.raises(ConfigurationError):
+            BitVector(4, 16)
+
+    def test_set_test_clear(self):
+        vec = BitVector(64)
+        vec.set(63)
+        assert vec.test(63)
+        vec.clear_bit(63)
+        assert not vec.test(63)
+
+    def test_out_of_range_raises(self):
+        vec = BitVector(8)
+        with pytest.raises(IndexError):
+            vec.set(8)
+        with pytest.raises(IndexError):
+            vec.test(-1)
+
+    def test_gang_clear(self):
+        vec = BitVector.from_positions(32, [1, 5, 31])
+        vec.clear()
+        assert vec.is_zero()
+
+    def test_and_or_xor(self):
+        a = BitVector(8, 0b1100)
+        b = BitVector(8, 0b1010)
+        assert (a & b).value == 0b1000
+        assert (a | b).value == 0b1110
+        assert (a ^ b).value == 0b0110
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitVector(8) & BitVector(16)
+
+    def test_copy_is_independent(self):
+        vec = BitVector(8, 1)
+        dup = vec.copy()
+        dup.set(3)
+        assert vec.value == 1
+
+    def test_equality_and_hash(self):
+        assert BitVector(8, 5) == BitVector(8, 5)
+        assert BitVector(8, 5) != BitVector(9, 5)
+        assert hash(BitVector(8, 5)) == hash(BitVector(8, 5))
+
+    def test_len_is_width(self):
+        assert len(BitVector(100)) == 100

@@ -1,0 +1,117 @@
+"""Tests for the delta decode operation (Section 3.2).
+
+The central property: for the paper's configurations, ``delta(S)`` is the
+*exact* set of cache set indices of the inserted addresses — this is what
+makes squash-side bulk invalidation safe.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decode import DeltaDecoder
+from repro.core.permutation import BitPermutation
+from repro.core.signature import Signature
+from repro.core.signature_config import (
+    SignatureConfig,
+    default_tls_config,
+    default_tm_config,
+)
+from repro.errors import DeltaInexactError
+from repro.mem.address import Granularity
+
+LINE_ADDRESSES = st.sets(
+    st.integers(min_value=0, max_value=(1 << 26) - 1), max_size=60
+)
+WORD_ADDRESSES = st.sets(
+    st.integers(min_value=0, max_value=(1 << 30) - 1), max_size=60
+)
+
+
+def exact_sets(addresses, granularity, num_sets):
+    return {granularity.line_of(a) & (num_sets - 1) for a in addresses}
+
+
+class TestExactness:
+    def test_tm_default_is_exact_for_128_sets(self):
+        assert DeltaDecoder(default_tm_config(), 128).is_exact
+
+    def test_tls_default_is_exact_for_64_sets(self):
+        assert DeltaDecoder(default_tls_config(), 64).is_exact
+
+    @settings(max_examples=60)
+    @given(addresses=LINE_ADDRESSES)
+    def test_tm_decode_is_exact(self, addresses):
+        config = default_tm_config()
+        decoder = DeltaDecoder(config, 128)
+        signature = Signature.from_addresses(config, addresses)
+        mask = decoder.decode(signature)
+        decoded = {i for i in range(128) if (mask >> i) & 1}
+        assert decoded == exact_sets(addresses, Granularity.LINE, 128)
+
+    @settings(max_examples=60)
+    @given(addresses=WORD_ADDRESSES)
+    def test_tls_decode_is_exact(self, addresses):
+        config = default_tls_config()
+        decoder = DeltaDecoder(config, 64)
+        signature = Signature.from_addresses(config, addresses)
+        mask = decoder.decode(signature)
+        decoded = {i for i in range(64) if (mask >> i) & 1}
+        assert decoded == exact_sets(addresses, Granularity.WORD, 64)
+
+    def test_empty_signature_decodes_to_empty_mask(self):
+        config = default_tm_config()
+        decoder = DeltaDecoder(config, 128)
+        assert decoder.decode(Signature(config)) == 0
+
+
+class TestInexactConfigurations:
+    def _scrambled_config(self):
+        # A permutation that scatters the index bits over both chunks.
+        sources = list(range(26))
+        sources[0], sources[15] = sources[15], sources[0]
+        sources[1], sources[16] = sources[16], sources[1]
+        return SignatureConfig.make(
+            (10, 10),
+            Granularity.LINE,
+            permutation=BitPermutation(26, sources),
+            name="scrambled",
+        )
+
+    def test_scattered_index_bits_are_inexact(self):
+        decoder = DeltaDecoder(self._scrambled_config(), 128)
+        assert not decoder.is_exact
+
+    def test_require_exact_raises(self):
+        decoder = DeltaDecoder(self._scrambled_config(), 128)
+        with pytest.raises(DeltaInexactError):
+            decoder.require_exact()
+
+    @settings(max_examples=40)
+    @given(addresses=LINE_ADDRESSES)
+    def test_inexact_decode_is_still_superset(self, addresses):
+        config = self._scrambled_config()
+        decoder = DeltaDecoder(config, 128)
+        signature = Signature.from_addresses(config, addresses)
+        mask = decoder.decode(signature)
+        for set_index in exact_sets(addresses, Granularity.LINE, 128):
+            assert (mask >> set_index) & 1
+
+
+class TestHelpers:
+    def test_set_index_of_line_granularity(self):
+        decoder = DeltaDecoder(default_tm_config(), 128)
+        assert decoder.set_index_of(0x1234) == 0x1234 & 127
+
+    def test_set_index_of_word_granularity(self):
+        decoder = DeltaDecoder(default_tls_config(), 64)
+        # Word address -> line address -> set index.
+        assert decoder.set_index_of(0x1234) == (0x1234 >> 4) & 63
+
+    def test_selected_sets_sorted(self):
+        config = default_tm_config()
+        decoder = DeltaDecoder(config, 128)
+        signature = Signature.from_addresses(config, {5, 130, 12})
+        assert decoder.selected_sets(signature) == sorted(
+            {5 & 127, 130 & 127, 12 & 127}
+        )

@@ -1,0 +1,76 @@
+"""Tests for Equation 1 bulk disambiguation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.disambiguation import address_conflicts, disambiguate
+from repro.core.signature import Signature
+from repro.core.signature_config import default_tm_config
+
+ADDRESS_SETS = st.sets(
+    st.integers(min_value=0, max_value=(1 << 26) - 1), max_size=50
+)
+
+
+def sigs(config, *sets):
+    return [Signature.from_addresses(config, s) for s in sets]
+
+
+class TestEquation1:
+    def test_raw_conflict_detected(self, tm_config):
+        w_c, r_r, w_r = sigs(tm_config, {1, 2}, {2, 3}, {9})
+        result = disambiguate(w_c, r_r, w_r)
+        assert result.raw_conflict
+        assert result.squash
+        assert bool(result)
+
+    def test_waw_conflict_detected(self, tm_config):
+        w_c, r_r, w_r = sigs(tm_config, {1}, {5}, {1})
+        result = disambiguate(w_c, r_r, w_r)
+        assert result.waw_conflict
+        assert result.squash
+
+    def test_disjoint_sets_usually_pass(self, tm_config):
+        w_c, r_r, w_r = sigs(tm_config, {0x100}, {0x2000}, {0x30000})
+        result = disambiguate(w_c, r_r, w_r)
+        assert not result.squash
+
+    def test_empty_committer_never_squashes(self, tm_config):
+        w_c, r_r, w_r = sigs(tm_config, set(), {1, 2, 3}, {4, 5})
+        assert not disambiguate(w_c, r_r, w_r).squash
+
+    @settings(max_examples=50)
+    @given(wc=ADDRESS_SETS, rr=ADDRESS_SETS, wr=ADDRESS_SETS)
+    def test_no_false_negatives(self, wc, rr, wr):
+        """A true dependence is always detected (the correctness half of
+        the paper's 'inexact but correct')."""
+        config = default_tm_config()
+        result = disambiguate(*sigs(config, wc, rr, wr))
+        if wc & (rr | wr):
+            assert result.squash
+        if wc & rr:
+            assert result.raw_conflict
+        if wc & wr:
+            assert result.waw_conflict
+
+
+class TestAddressConflicts:
+    def test_member_of_read_set(self, tm_config):
+        r_r, w_r = sigs(tm_config, {7}, set())
+        assert address_conflicts(7, r_r, w_r)
+
+    def test_member_of_write_set(self, tm_config):
+        r_r, w_r = sigs(tm_config, set(), {7})
+        assert address_conflicts(7, r_r, w_r)
+
+    def test_non_member(self, tm_config):
+        r_r, w_r = sigs(tm_config, {0x111}, {0x222})
+        assert not address_conflicts(0x333333, r_r, w_r)
+
+    @given(addresses=ADDRESS_SETS)
+    def test_every_tracked_address_conflicts(self, addresses):
+        config = default_tm_config()
+        r_r = Signature.from_addresses(config, addresses)
+        w_r = Signature(config)
+        for address in addresses:
+            assert address_conflicts(address, r_r, w_r)

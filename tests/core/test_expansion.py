@@ -1,0 +1,78 @@
+"""Tests for signature expansion over a cache (Section 3.3)."""
+
+from repro.cache.cache import Cache
+from repro.cache.geometry import TM_L1_GEOMETRY, TLS_L1_GEOMETRY
+from repro.core.decode import DeltaDecoder
+from repro.core.expansion import count_expansion_work, expand_signature, line_may_be_in
+from repro.core.signature import Signature
+from repro.core.signature_config import default_tls_config, default_tm_config
+
+LINE = tuple(range(16))
+
+
+def fill_lines(cache, line_addresses):
+    for line_address in line_addresses:
+        cache.fill(line_address, LINE)
+
+
+class TestLineMayBeIn:
+    def test_line_granularity_direct(self, tm_config):
+        signature = Signature.from_addresses(tm_config, {0x123})
+        assert line_may_be_in(signature, 0x123)
+
+    def test_word_granularity_lifts_over_words(self, tls_config):
+        signature = Signature(tls_config)
+        signature.add((0x55 << 4) + 9)  # word 9 of line 0x55
+        assert line_may_be_in(signature, 0x55)
+
+    def test_untouched_line_usually_rejected(self, tm_config):
+        signature = Signature.from_addresses(tm_config, {0x100})
+        assert not line_may_be_in(signature, 0x347261)
+
+
+class TestExpansion:
+    def test_finds_all_matching_cached_lines(self):
+        config = default_tm_config()
+        cache = Cache(TM_L1_GEOMETRY)
+        decoder = DeltaDecoder(config, TM_L1_GEOMETRY.num_sets)
+        inserted = {0x10, 0x90, 0x1234}
+        fill_lines(cache, inserted | {0x5555, 0x2020})
+        signature = Signature.from_addresses(config, inserted)
+        found = {line.line_address for _, line in expand_signature(
+            signature, cache, decoder
+        )}
+        assert inserted <= found  # no false negatives among cached lines
+
+    def test_empty_signature_expands_to_nothing(self):
+        config = default_tm_config()
+        cache = Cache(TM_L1_GEOMETRY)
+        decoder = DeltaDecoder(config, TM_L1_GEOMETRY.num_sets)
+        fill_lines(cache, {1, 2, 3})
+        assert list(expand_signature(Signature(config), cache, decoder)) == []
+
+    def test_expansion_only_walks_selected_sets(self):
+        """The Figure 4 point: delta-directed expansion reads far fewer
+        tags than a full walk."""
+        config = default_tm_config()
+        cache = Cache(TM_L1_GEOMETRY)
+        decoder = DeltaDecoder(config, TM_L1_GEOMETRY.num_sets)
+        fill_lines(cache, set(range(0x100, 0x200)))  # 256 lines cached
+        signature = Signature.from_addresses(config, {0x100})
+        sets_walked, tags_read, matched = count_expansion_work(
+            signature, cache, decoder
+        )
+        assert sets_walked == 1
+        assert tags_read <= TM_L1_GEOMETRY.associativity
+        assert matched >= 1
+
+    def test_word_granularity_expansion(self):
+        config = default_tls_config()
+        cache = Cache(TLS_L1_GEOMETRY)
+        decoder = DeltaDecoder(config, TLS_L1_GEOMETRY.num_sets)
+        fill_lines(cache, {0x77, 0x99})
+        signature = Signature(config)
+        signature.add((0x77 << 4) + 3)
+        found = {line.line_address for _, line in expand_signature(
+            signature, cache, decoder
+        )}
+        assert 0x77 in found

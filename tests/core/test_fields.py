@@ -1,0 +1,70 @@
+"""Tests for the chunk/field layout."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.fields import ChunkLayout
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ChunkLayout((), 26)
+
+    def test_rejects_non_positive_chunks(self):
+        with pytest.raises(ConfigurationError):
+            ChunkLayout((8, 0), 26)
+
+    def test_signature_bits_sums_field_sizes(self):
+        layout = ChunkLayout((10, 10), 26)
+        assert layout.signature_bits == 2048
+        assert layout.field_sizes == (1024, 1024)
+        assert layout.field_offsets == (0, 1024)
+
+    def test_chunks_may_exceed_address_width(self):
+        # S4 is (8, 8, 8, 8) = 32 bits over 26-bit line addresses: the
+        # address is zero-extended.
+        layout = ChunkLayout((8, 8, 8, 8), 26)
+        assert layout.signature_bits == 1024
+
+
+class TestChunkValues:
+    def test_slicing(self):
+        layout = ChunkLayout((4, 4), 8)
+        assert layout.chunk_values(0xA5) == (0x5, 0xA)
+
+    def test_zero_extension(self):
+        layout = ChunkLayout((4, 4, 4), 8)
+        assert layout.chunk_values(0xFF) == (0xF, 0xF, 0x0)
+
+    @given(st.integers(min_value=0, max_value=(1 << 26) - 1))
+    def test_values_fit_their_chunks(self, address):
+        layout = ChunkLayout((10, 9, 7), 26)
+        for value, size in zip(layout.chunk_values(address), layout.chunk_sizes):
+            assert 0 <= value < (1 << size)
+
+    @given(st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_chunks_reassemble_address(self, address):
+        layout = ChunkLayout((10, 10), 20)
+        low, high = layout.chunk_values(address)
+        assert (high << 10) | low == address
+
+
+class TestChunkOfBit:
+    def test_within_chunks(self):
+        layout = ChunkLayout((10, 10), 26)
+        assert layout.chunk_of_bit(0) == 0
+        assert layout.chunk_of_bit(9) == 0
+        assert layout.chunk_of_bit(10) == 1
+        assert layout.chunk_of_bit(19) == 1
+
+    def test_above_chunks(self):
+        layout = ChunkLayout((10, 10), 26)
+        assert layout.chunk_of_bit(20) == -1
+        assert layout.chunk_of_bit(25) == -1
+
+    def test_equality(self):
+        assert ChunkLayout((10, 10), 26) == ChunkLayout((10, 10), 26)
+        assert ChunkLayout((10, 10), 26) != ChunkLayout((10, 10), 30)

@@ -1,0 +1,76 @@
+"""Tests for RLE compression of signatures (Section 6.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rle import rle_decode, rle_encode, rle_size_bits
+from repro.core.signature import Signature
+from repro.core.signature_config import default_tm_config, table8_config
+from repro.errors import TraceError
+
+ADDRESS_SETS = st.sets(
+    st.integers(min_value=0, max_value=(1 << 26) - 1), max_size=80
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60)
+    @given(addresses=ADDRESS_SETS)
+    def test_encode_decode_identity(self, addresses):
+        config = default_tm_config()
+        signature = Signature.from_addresses(config, addresses)
+        assert rle_decode(config, rle_encode(signature)) == signature
+
+    def test_empty_signature(self):
+        config = default_tm_config()
+        signature = Signature(config)
+        encoded = rle_encode(signature)
+        assert rle_decode(config, encoded) == signature
+        assert len(encoded) == 1  # just the zero count
+
+    @given(addresses=ADDRESS_SETS)
+    def test_size_bits_matches_byte_length(self, addresses):
+        signature = Signature.from_addresses(default_tm_config(), addresses)
+        assert rle_size_bits(signature) == 8 * len(rle_encode(signature))
+
+
+class TestCompression:
+    def test_sparse_signature_compresses_well(self):
+        # A 2 Kbit signature with a typical write set compresses to a
+        # small fraction of its full size — the point of Section 6.1.
+        config = default_tm_config()
+        signature = Signature.from_addresses(
+            config, {i * 977 for i in range(22)}
+        )
+        assert rle_size_bits(signature) < config.size_bits // 4
+
+    def test_compression_grows_with_density(self):
+        config = table8_config("S14")
+        small = Signature.from_addresses(config, {i * 31 for i in range(5)})
+        large = Signature.from_addresses(config, {i * 31 for i in range(200)})
+        assert rle_size_bits(small) < rle_size_bits(large)
+
+
+class TestMalformedStreams:
+    def test_truncated_stream_rejected(self):
+        config = default_tm_config()
+        signature = Signature.from_addresses(config, {1, 2, 3})
+        encoded = rle_encode(signature)
+        with pytest.raises(TraceError):
+            rle_decode(config, encoded[:-1])
+
+    def test_trailing_bytes_rejected(self):
+        config = default_tm_config()
+        signature = Signature.from_addresses(config, {1})
+        with pytest.raises(TraceError):
+            rle_decode(config, rle_encode(signature) + b"\x00")
+
+    def test_positions_beyond_register_rejected(self):
+        config = table8_config("S1")  # 512 bits
+        big = default_tm_config()  # 2048 bits
+        signature = Signature.from_addresses(big, {0x3FFFFFF})
+        encoded = rle_encode(signature)
+        if signature.to_flat_int() >> 512:
+            with pytest.raises(TraceError):
+                rle_decode(config, encoded)

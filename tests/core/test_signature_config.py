@@ -1,0 +1,78 @@
+"""Tests for signature configurations and the Table 8 catalogue."""
+
+import pytest
+
+from repro.core.permutation import BitPermutation
+from repro.core.signature_config import (
+    TABLE8_CHUNKS,
+    TABLE8_CONFIGS,
+    TABLE8_FULL_SIZES,
+    SignatureConfig,
+    default_tls_config,
+    default_tm_config,
+    table8_config,
+)
+from repro.errors import ConfigurationError
+from repro.mem.address import Granularity
+
+
+class TestTable8Catalogue:
+    def test_all_23_configurations_exist(self):
+        assert len(TABLE8_CONFIGS) == 23
+        assert set(TABLE8_CONFIGS) == {f"S{i}" for i in range(1, 24)}
+
+    @pytest.mark.parametrize("name", sorted(TABLE8_CHUNKS))
+    def test_full_sizes_match_table8(self, name):
+        assert TABLE8_CONFIGS[name].size_bits == TABLE8_FULL_SIZES[name]
+
+    def test_s14_is_two_10_bit_chunks(self):
+        assert TABLE8_CHUNKS["S14"] == (10, 10)
+        assert TABLE8_CONFIGS["S14"].size_bits == 2048
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            table8_config("S99")
+
+    def test_catalogue_uses_no_permutation(self):
+        # Figure 15's bars are generated "without any initial bit
+        # permutation on the original addresses".
+        assert TABLE8_CONFIGS["S14"].permutation.is_identity()
+
+
+class TestDefaults:
+    def test_tm_default(self):
+        config = default_tm_config()
+        assert config.name == "S14"
+        assert config.granularity is Granularity.LINE
+        assert not config.permutation.is_identity()
+
+    def test_tls_default(self):
+        config = default_tls_config()
+        assert config.granularity is Granularity.WORD
+        assert config.permutation.width == 30
+
+
+class TestValidation:
+    def test_permutation_width_must_match_granularity(self):
+        with pytest.raises(ConfigurationError):
+            SignatureConfig.make(
+                (10, 10),
+                Granularity.LINE,
+                permutation=BitPermutation.identity(30),
+            )
+
+    def test_encode_returns_one_value_per_chunk(self):
+        config = default_tm_config()
+        assert len(config.encode(0x3FFFFFF)) == 2
+
+    def test_with_permutation_preserves_layout(self):
+        config = table8_config("S14")
+        shuffled = config.with_permutation(
+            BitPermutation.identity(26)
+        )
+        assert shuffled.size_bits == config.size_bits
+
+    def test_configs_are_hashable_and_comparable(self):
+        assert table8_config("S14") == table8_config("S14")
+        assert table8_config("S14") != table8_config("S19")
+        assert hash(table8_config("S14")) == hash(table8_config("S14"))

@@ -1,0 +1,106 @@
+"""Tests for the Updated Word Bitmask unit and line merging (Section 4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signature import Signature
+from repro.core.wordmask import UpdatedWordBitmaskUnit, merge_line
+from repro.core.signature_config import default_tls_config, default_tm_config
+from repro.errors import ConfigurationError
+from repro.mem.address import words_of_line
+
+WORD_VALUES = st.lists(
+    st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=16, max_size=16
+)
+
+
+class TestUnit:
+    def test_line_granularity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UpdatedWordBitmaskUnit(default_tm_config())
+
+    def test_mask_covers_written_words(self):
+        config = default_tls_config()
+        unit = UpdatedWordBitmaskUnit(config)
+        write_signature = Signature(config)
+        line_address = 0x1000
+        written_offsets = {3, 7, 15}
+        for offset in written_offsets:
+            write_signature.add((line_address << 4) + offset)
+        mask = unit.mask_for_line(write_signature, line_address)
+        for offset in written_offsets:
+            assert (mask >> offset) & 1  # never a false negative
+
+    def test_empty_signature_gives_zero_mask(self):
+        config = default_tls_config()
+        unit = UpdatedWordBitmaskUnit(config)
+        assert unit.mask_for_line(Signature(config), 0x1000) == 0
+
+    def test_wrong_config_rejected(self):
+        unit = UpdatedWordBitmaskUnit(default_tls_config())
+        with pytest.raises(ConfigurationError):
+            unit.mask_for_line(Signature(default_tm_config()), 0)
+
+    @settings(max_examples=40)
+    @given(
+        offsets=st.sets(st.integers(min_value=0, max_value=15), max_size=16),
+        line=st.integers(min_value=0, max_value=(1 << 26) - 1),
+    )
+    def test_mask_is_conservative_superset(self, offsets, line):
+        config = default_tls_config()
+        unit = UpdatedWordBitmaskUnit(config)
+        signature = Signature(config)
+        for offset in offsets:
+            signature.add((line << 4) + offset)
+        mask = unit.mask_for_line(signature, line)
+        exact = sum(1 << o for o in offsets)
+        assert mask & exact == exact  # superset of the written words
+
+
+class TestMergeLine:
+    @given(committed=WORD_VALUES, local=WORD_VALUES)
+    def test_merge_picks_by_mask(self, committed, local):
+        mask = 0b1010101010101010
+        merged = merge_line(committed, local, mask)
+        for offset in range(16):
+            expected = local[offset] if (mask >> offset) & 1 else committed[offset]
+            assert merged[offset] == expected
+
+    def test_zero_mask_takes_committed(self):
+        committed = tuple(range(16))
+        local = tuple(range(100, 116))
+        assert merge_line(committed, local, 0) == committed
+
+    def test_full_mask_takes_local(self):
+        committed = tuple(range(16))
+        local = tuple(range(100, 116))
+        assert merge_line(committed, local, 0xFFFF) == local
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_line((0,) * 15, (0,) * 16, 0)
+
+
+class TestEndToEndMergeScenario:
+    def test_two_writers_of_different_words(self):
+        """The Section 4.4 scenario: committer C wrote word 0, local R
+        wrote word 8; R's merged line keeps its own word 8 and takes C's
+        word 0."""
+        config = default_tls_config()
+        unit = UpdatedWordBitmaskUnit(config)
+        line_address = 0x2A0
+        base = line_address << 4
+
+        w_r = Signature(config)
+        w_r.add(base + 8)
+
+        committed_version = [0] * 16
+        committed_version[0] = 111  # C's committed update
+        local_version = [0] * 16
+        local_version[8] = 222  # R's speculative update
+
+        mask = unit.mask_for_line(w_r, line_address)
+        merged = merge_line(tuple(committed_version), tuple(local_version), mask)
+        assert merged[0] == 111
+        assert merged[8] == 222

@@ -1,0 +1,149 @@
+"""Cross-scheme equivalence: the headline correctness claims.
+
+* **TLS**: final memory is *fully deterministic* (commit order equals
+  task order), so Eager, Lazy, Bulk and BulkNoOverlap must all produce
+  the exact final state of a sequential execution — squashes, aliasing
+  and signature size notwithstanding.
+* **TM**: for words with a single writing thread, the final value is
+  scheme-independent; commit counts always are.
+* **Aliasing never breaks correctness**: shrinking the signature to a
+  comically small register only increases squashes and invalidations.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.core.permutation import BitPermutation
+from repro.core.signature_config import SignatureConfig
+from repro.mem.address import Granularity
+from repro.tls.bulk import TlsBulkScheme
+from repro.tls.eager import TlsEagerScheme
+from repro.tls.lazy import TlsLazyScheme
+from repro.tls.params import TLS_DEFAULTS
+from repro.tls.system import TlsSystem
+from repro.tm.bulk import BulkScheme
+from repro.tm.eager import EagerScheme
+from repro.tm.lazy import LazyScheme
+from repro.tm.params import TM_DEFAULTS
+from repro.tm.system import TmSystem
+from repro.sim.trace import EventKind
+from repro.workloads.kernels import build_tm_workload
+from repro.workloads.tls_spec import build_tls_workload
+
+TM_APPS = ["cb", "mc", "moldyn", "sjbb2k"]
+TLS_APPS = ["gzip", "vortex", "mcf"]
+
+
+def nonzero(memory):
+    return {k: v for k, v in memory.snapshot().items() if v != 0}
+
+
+class TestTlsDeterminism:
+    @pytest.mark.parametrize("app", TLS_APPS)
+    def test_final_memory_identical_across_schemes(self, app):
+        finals = []
+        for scheme in (
+            TlsEagerScheme(),
+            TlsLazyScheme(),
+            TlsBulkScheme(True),
+            TlsBulkScheme(False),
+        ):
+            tasks = build_tls_workload(app, num_tasks=60, seed=21)
+            result = TlsSystem(tasks, scheme).run()
+            finals.append(nonzero(result.memory))
+        assert all(final == finals[0] for final in finals)
+
+    @pytest.mark.parametrize("app", TLS_APPS)
+    def test_final_memory_matches_sequential_replay(self, app):
+        tasks = build_tls_workload(app, num_tasks=60, seed=21)
+        reference = {}
+        for task in tasks:
+            for event in task.events:
+                if event.kind is EventKind.STORE:
+                    reference[event.address >> 2] = event.value
+        reference = {k: v for k, v in reference.items() if v != 0}
+        result = TlsSystem(
+            build_tls_workload(app, num_tasks=60, seed=21), TlsBulkScheme(True)
+        ).run()
+        assert nonzero(result.memory) == reference
+
+
+class TestTmEquivalence:
+    @pytest.mark.parametrize("app", TM_APPS)
+    def test_commit_counts_identical(self, app):
+        counts = set()
+        for scheme_cls in (EagerScheme, LazyScheme, BulkScheme):
+            traces = build_tm_workload(app, num_threads=4, txns_per_thread=4,
+                                       seed=31)
+            result = TmSystem(traces, scheme_cls()).run()
+            counts.add(result.stats.committed_transactions)
+        assert len(counts) == 1
+
+    @pytest.mark.parametrize("app", TM_APPS)
+    def test_single_writer_words_agree(self, app):
+        def single_writer_words(traces):
+            writers = {}
+            for trace in traces:
+                for event in trace.events:
+                    if event.kind is EventKind.STORE:
+                        word = event.address >> 2
+                        writers.setdefault(word, set()).add(trace.thread_id)
+            return {w for w, tids in writers.items() if len(tids) == 1}
+
+        finals = []
+        words = None
+        for scheme_cls in (EagerScheme, LazyScheme, BulkScheme):
+            traces = build_tm_workload(app, num_threads=4, txns_per_thread=4,
+                                       seed=31)
+            if words is None:
+                words = single_writer_words(traces)
+            result = TmSystem(traces, scheme_cls()).run()
+            finals.append({w: result.memory.load(w) for w in sorted(words)})
+        assert all(final == finals[0] for final in finals)
+
+
+class TestAliasingNeverBreaksCorrectness:
+    def _tiny_exact_config(self, granularity):
+        # A minuscule register whose low chunk still contains the cache
+        # index bits (so delta stays exact): aliases constantly.
+        if granularity is Granularity.LINE:
+            return SignatureConfig.make((7, 3), granularity, name="tiny-tm")
+        return SignatureConfig.make((10, 3), granularity, name="tiny-tls")
+
+    def test_tm_with_tiny_signature_still_correct(self):
+        params = replace(
+            TM_DEFAULTS,
+            signature_config=self._tiny_exact_config(Granularity.LINE),
+        )
+        traces = build_tm_workload("mc", num_threads=4, txns_per_thread=4,
+                                   seed=31)
+        reference = TmSystem(
+            build_tm_workload("mc", num_threads=4, txns_per_thread=4, seed=31),
+            LazyScheme(),
+        ).run()
+        tiny = TmSystem(traces, BulkScheme(), params).run()
+        assert tiny.stats.committed_transactions == (
+            reference.stats.committed_transactions
+        )
+        # More aliasing, never less correctness.
+        assert tiny.stats.false_positive_squashes >= 0
+
+    def test_tls_with_tiny_signature_matches_sequential(self):
+        params = replace(
+            TLS_DEFAULTS,
+            signature_config=self._tiny_exact_config(Granularity.WORD),
+        )
+        tasks = build_tls_workload("gzip", num_tasks=40, seed=5)
+        reference = {}
+        for task in tasks:
+            for event in task.events:
+                if event.kind is EventKind.STORE:
+                    reference[event.address >> 2] = event.value
+        reference = {k: v for k, v in reference.items() if v != 0}
+        result = TlsSystem(
+            build_tls_workload("gzip", num_tasks=40, seed=5),
+            TlsBulkScheme(True),
+            params,
+        ).run()
+        assert nonzero(result.memory) == reference
+        assert result.stats.committed_tasks == 40

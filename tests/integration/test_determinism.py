@@ -1,0 +1,67 @@
+"""Bit-for-bit determinism: identical inputs give identical runs.
+
+Every stochastic choice in the library flows from explicit seeds, and the
+simulators' scheduling is tie-broken deterministically — so repeating a
+run must reproduce every statistic exactly.  This is what makes the
+benchmark harness's numbers citable.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_tls_comparison, run_tm_comparison
+
+
+def tm_fingerprint(comparison):
+    rows = []
+    for scheme in ("Eager", "Lazy", "Bulk"):
+        stats = comparison.stats[scheme]
+        rows.append(
+            (
+                scheme,
+                comparison.cycles[scheme],
+                stats.committed_transactions,
+                stats.squashes,
+                stats.false_positive_squashes,
+                stats.bandwidth.total_bytes,
+                stats.bandwidth.commit_bytes,
+                stats.overflow_area_accesses,
+            )
+        )
+    return tuple(rows)
+
+
+def tls_fingerprint(comparison):
+    rows = []
+    for scheme in ("Eager", "Lazy", "Bulk", "BulkNoOverlap"):
+        stats = comparison.stats[scheme]
+        rows.append(
+            (
+                scheme,
+                comparison.cycles[scheme],
+                stats.squashes,
+                stats.false_positive_squashes,
+                stats.merged_lines,
+                stats.safe_writebacks,
+                stats.bandwidth.total_bytes,
+            )
+        )
+    return (comparison.sequential_cycles, tuple(rows))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("app", ["mc", "sjbb2k"])
+    def test_tm_comparison_is_reproducible(self, app):
+        first = run_tm_comparison(app, txns_per_thread=5, seed=17)
+        second = run_tm_comparison(app, txns_per_thread=5, seed=17)
+        assert tm_fingerprint(first) == tm_fingerprint(second)
+
+    @pytest.mark.parametrize("app", ["gzip", "vpr"])
+    def test_tls_comparison_is_reproducible(self, app):
+        first = run_tls_comparison(app, num_tasks=50, seed=17)
+        second = run_tls_comparison(app, num_tasks=50, seed=17)
+        assert tls_fingerprint(first) == tls_fingerprint(second)
+
+    def test_different_seeds_differ(self):
+        first = run_tm_comparison("sjbb2k", txns_per_thread=5, seed=1)
+        second = run_tm_comparison("sjbb2k", txns_per_thread=5, seed=2)
+        assert tm_fingerprint(first) != tm_fingerprint(second)

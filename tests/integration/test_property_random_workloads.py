@@ -1,0 +1,129 @@
+"""Property-based system tests: hypothesis-generated random workloads.
+
+The strategies build small, arbitrary (but well-formed) TM and TLS
+workloads; the properties assert the system-level invariants for every
+scheme: everything commits, counts agree across schemes, and TLS final
+memory equals the sequential replay.  Shrinking gives minimal
+counterexamples when a protocol bug slips in — these tests caught several
+during development.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import ThreadTrace, compute, load, store, tx_begin, tx_end
+from repro.tls.bulk import TlsBulkScheme
+from repro.tls.eager import TlsEagerScheme
+from repro.tls.lazy import TlsLazyScheme
+from repro.tls.system import TlsSystem
+from repro.tls.task import TlsTask
+from repro.tm.bulk import BulkScheme
+from repro.tm.eager import EagerScheme
+from repro.tm.lazy import LazyScheme
+from repro.tm.system import TmSystem
+
+#: A tiny pool of addresses, so random workloads conflict often.
+ADDRESSES = st.integers(min_value=0, max_value=15).map(lambda i: 0x4000 + i * 68)
+
+
+@st.composite
+def tm_transactions(draw):
+    """One thread's trace: 1-3 transactions of 1-6 accesses."""
+    events = []
+    for txn in range(draw(st.integers(1, 3))):
+        events.append(tx_begin())
+        for _ in range(draw(st.integers(1, 6))):
+            address = draw(ADDRESSES)
+            if draw(st.booleans()):
+                events.append(load(address))
+            else:
+                events.append(store(address, draw(st.integers(1, 1000))))
+        if draw(st.booleans()):
+            events.append(compute(draw(st.integers(1, 80))))
+        events.append(tx_end())
+    return events
+
+
+@st.composite
+def tm_workloads(draw):
+    threads = draw(st.integers(2, 4))
+    return [
+        ThreadTrace(tid, draw(tm_transactions())) for tid in range(threads)
+    ]
+
+
+@st.composite
+def tls_workloads(draw):
+    count = draw(st.integers(2, 6))
+    tasks = []
+    for task_id in range(count):
+        events = []
+        for _ in range(draw(st.integers(1, 8))):
+            address = draw(ADDRESSES)
+            if draw(st.booleans()):
+                events.append(load(address))
+            else:
+                events.append(store(address, draw(st.integers(1, 1000))))
+        if draw(st.booleans()):
+            events.append(compute(draw(st.integers(1, 100))))
+        spawn = draw(st.integers(0, len(events)))
+        tasks.append(TlsTask(task_id, events, spawn_cursor=spawn))
+    return tasks
+
+
+COMMON = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRandomTmWorkloads:
+    @settings(**COMMON)
+    @given(workload=tm_workloads())
+    def test_all_schemes_commit_everything(self, workload):
+        expected = sum(t.transaction_count() for t in workload)
+        for scheme_cls in (EagerScheme, LazyScheme, BulkScheme):
+            traces = [ThreadTrace(t.thread_id, t.events) for t in workload]
+            result = TmSystem(traces, scheme_cls()).run()
+            assert result.stats.committed_transactions == expected
+
+    @settings(**COMMON)
+    @given(workload=tm_workloads())
+    def test_commit_replay_witness(self, workload):
+        for scheme_cls in (EagerScheme, LazyScheme, BulkScheme):
+            traces = [ThreadTrace(t.thread_id, t.events) for t in workload]
+            system = TmSystem(traces, scheme_cls())
+            result = system.run()
+            assert system.replay_serial_reference() == result.memory
+
+
+class TestRandomTlsWorkloads:
+    @staticmethod
+    def sequential_reference(tasks):
+        memory = {}
+        for task in tasks:
+            for event in task.events:
+                if event.kind.value == "store":
+                    memory[event.address >> 2] = event.value
+        return {k: v for k, v in memory.items() if v != 0}
+
+    @settings(**COMMON)
+    @given(workload=tls_workloads())
+    def test_all_schemes_match_sequential_semantics(self, workload):
+        reference = self.sequential_reference(workload)
+        for factory in (
+            TlsEagerScheme,
+            TlsLazyScheme,
+            lambda: TlsBulkScheme(True),
+            lambda: TlsBulkScheme(False),
+        ):
+            tasks = [
+                TlsTask(t.task_id, t.events, t.spawn_cursor) for t in workload
+            ]
+            result = TlsSystem(tasks, factory()).run()
+            assert result.stats.committed_tasks == len(workload)
+            observed = {
+                k: v for k, v in result.memory.snapshot().items() if v != 0
+            }
+            assert observed == reference

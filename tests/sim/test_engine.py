@@ -1,0 +1,40 @@
+"""Tests for the min-clock scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import MinClockScheduler
+
+
+class TestMinClockScheduler:
+    def test_pops_in_clock_order(self):
+        scheduler = MinClockScheduler()
+        scheduler.push(30, 0)
+        scheduler.push(10, 1)
+        scheduler.push(20, 2)
+        assert [scheduler.pop()[1] for _ in range(3)] == [1, 2, 0]
+
+    def test_ties_break_by_processor_id(self):
+        scheduler = MinClockScheduler()
+        scheduler.push(5, 2)
+        scheduler.push(5, 1)
+        assert scheduler.pop()[1] == 1
+
+    def test_empty_pop_is_none(self):
+        assert MinClockScheduler().pop() is None
+
+    def test_tokens_travel_with_entries(self):
+        scheduler = MinClockScheduler()
+        scheduler.push(1, 0, token=7)
+        assert scheduler.pop() == (1, 0, 7)
+
+    def test_negative_clock_rejected(self):
+        with pytest.raises(SimulationError):
+            MinClockScheduler().push(-1, 0)
+
+    def test_total_steps_counts_pushes(self):
+        scheduler = MinClockScheduler()
+        scheduler.push(1, 0)
+        scheduler.push(2, 0)
+        assert scheduler.total_steps == 2
+        assert len(scheduler) == 2

@@ -1,0 +1,27 @@
+"""Tests for deterministic RNG substreams."""
+
+from repro.sim.rng import SubstreamRng
+
+
+class TestSubstreamRng:
+    def test_same_labels_same_stream(self):
+        factory = SubstreamRng(42)
+        first = [factory.stream("a", 1).random() for _ in range(3)]
+        second = [factory.stream("a", 1).random() for _ in range(3)]
+        assert first == second
+
+    def test_different_labels_differ(self):
+        factory = SubstreamRng(42)
+        assert factory.stream("a").random() != factory.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        assert SubstreamRng(1).stream("x").random() != (
+            SubstreamRng(2).stream("x").random()
+        )
+
+    def test_order_independent(self):
+        factory = SubstreamRng(7)
+        factory.stream("noise")  # creating other streams changes nothing
+        a = factory.stream("target").random()
+        b = SubstreamRng(7).stream("target").random()
+        assert a == b

@@ -1,0 +1,50 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tm_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tm", "doom3"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["tm", "mc"])
+        assert args.txns == 10 and args.seed == 42 and not args.partial
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sjbb2k" in out and "crafty" in out
+
+    def test_tm_run(self, capsys):
+        assert main(["tm", "mc", "--txns", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "TM: mc" in out
+        assert "Bulk" in out and "Eager" in out
+        assert "commit bandwidth Bulk/Lazy" in out
+
+    def test_tm_partial(self, capsys):
+        assert main(["tm", "mc", "--txns", "3", "--partial"]) == 0
+        assert "Bulk-Partial" in capsys.readouterr().out
+
+    def test_tls_run(self, capsys):
+        assert main(["tls", "gzip", "--tasks", "30", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "TLS: gzip" in out and "BulkNoOverlap" in out
+
+    def test_accuracy(self, capsys):
+        assert main([
+            "accuracy", "--samples", "40", "--txns", "3",
+            "--permutations", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "S14" in out and "false positives" in out

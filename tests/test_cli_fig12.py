@@ -1,0 +1,18 @@
+"""The CLI's fig12 subcommand (imports the benchmark scenario)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("benchmarks"),
+    reason="needs the repository root as the working directory",
+)
+def test_fig12_command(capsys):
+    assert main(["fig12"]) == 0
+    out = capsys.readouterr().out
+    assert "livelock detected" in out
+    assert "12b-lazy" in out

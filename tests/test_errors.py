@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BulkError,
+    ConfigurationError,
+    DeltaInexactError,
+    OverflowAreaError,
+    ProtocolError,
+    SetRestrictionError,
+    SimulationError,
+    TraceError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    DeltaInexactError,
+    OverflowAreaError,
+    ProtocolError,
+    SetRestrictionError,
+    SimulationError,
+    TraceError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_all_derive_from_bulk_error(self, error_type):
+        assert issubclass(error_type, BulkError)
+
+    def test_delta_inexact_is_a_configuration_error(self):
+        # Callers validating configurations can catch the broader class.
+        assert issubclass(DeltaInexactError, ConfigurationError)
+
+    def test_single_except_clause_catches_everything(self):
+        caught = 0
+        for error_type in ALL_ERRORS:
+            try:
+                raise error_type("boom")
+            except BulkError:
+                caught += 1
+        assert caught == len(ALL_ERRORS)

@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; executing them in the
+test suite keeps them from rotting as the library evolves.  Each example
+asserts its own domain claims internally, so a clean exit is a real
+check.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs(example, capsys):
+    assert EXAMPLES, "examples directory missing"
+    sys_path = list(sys.path)
+    try:
+        runpy.run_path(str(example), run_name="__main__")
+    finally:
+        sys.path[:] = sys_path
+    out = capsys.readouterr().out
+    assert out.strip(), f"{example.name} printed nothing"

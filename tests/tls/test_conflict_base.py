@@ -1,0 +1,76 @@
+"""The TLS scheme base class's default hooks and the exact-dependence
+oracle's overlap semantics."""
+
+from repro.sim.trace import load
+from repro.tls.conflict import TlsScheme
+from repro.tls.task import TaskState, TlsTask
+
+
+class MinimalTlsScheme(TlsScheme):
+    name = "Minimal"
+
+    def commit_packet(self, system, state):
+        return 0
+
+
+def make_state(task_id=0):
+    return TaskState(TlsTask(task_id, [load(0)]))
+
+
+class TestDefaults:
+    def test_eager_check_defaults_to_none(self):
+        scheme = MinimalTlsScheme()
+        assert scheme.eager_check_store(None, None, make_state(), 0) is None
+
+    def test_prepare_store_defaults_to_no_gate(self):
+        scheme = MinimalTlsScheme()
+        assert scheme.prepare_store(None, None, make_state(), 0) is None
+
+    def test_receiver_conflict_defaults_to_false(self):
+        scheme = MinimalTlsScheme()
+        assert not scheme.receiver_conflict(None, make_state(0), make_state(1))
+
+    def test_can_accept_task_defaults_to_true(self):
+        assert MinimalTlsScheme().can_accept_task(None, None)
+
+
+class TestExactDependenceOracle:
+    def test_full_write_set_for_non_children(self):
+        scheme = MinimalTlsScheme()
+        committer = make_state(0)
+        committer.record_store(0x100, 1)   # pre-spawn
+        committer.start_shadow()
+        committer.record_store(0x200, 2)   # post-spawn
+        grandchild = make_state(2)         # not the first child
+        grandchild.record_load(0x100)
+        assert scheme.exact_dependence(committer, grandchild)
+
+    def test_shadow_excludes_prespawn_for_first_child(self):
+        scheme = MinimalTlsScheme()
+        committer = make_state(0)
+        committer.record_store(0x100, 1)
+        committer.start_shadow()
+        committer.record_store(0x200, 2)
+        child = make_state(1)
+        child.record_load(0x100)           # the pre-spawn live-in
+        assert not scheme.exact_dependence(committer, child)
+        child.record_load(0x200)           # a post-spawn write
+        assert scheme.exact_dependence(committer, child)
+
+    def test_no_overlap_reference_counts_prespawn(self):
+        scheme = MinimalTlsScheme()
+        scheme.overlap_reference = False
+        committer = make_state(0)
+        committer.record_store(0x100, 1)
+        committer.start_shadow()
+        child = make_state(1)
+        child.record_load(0x100)
+        assert scheme.exact_dependence(committer, child)
+
+    def test_no_shadow_means_full_set(self):
+        scheme = MinimalTlsScheme()
+        committer = make_state(0)
+        committer.record_store(0x100, 1)   # never spawned
+        child = make_state(1)
+        child.record_load(0x100)
+        assert scheme.exact_dependence(committer, child)

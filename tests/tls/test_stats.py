@@ -1,0 +1,40 @@
+"""Tests for TLS statistics derivations."""
+
+from repro.tls.stats import TlsStats
+
+
+class TestDerivedMetrics:
+    def test_zero_division_guards(self):
+        stats = TlsStats()
+        assert stats.avg_read_set == 0.0
+        assert stats.avg_write_set == 0.0
+        assert stats.avg_dependence_set == 0.0
+        assert stats.false_squash_percent == 0.0
+        assert stats.false_invalidations_per_commit == 0.0
+        assert stats.safe_writebacks_per_task == 0.0
+        assert stats.wr_wr_conflicts_per_1k_tasks == 0.0
+        assert stats.speedup == 0.0
+
+    def test_table6_columns(self):
+        stats = TlsStats(
+            committed_tasks=100,
+            read_set_words=3960,
+            write_set_words=1030,
+            direct_squashes=10,
+            dependence_words=24,
+            false_positive_squashes=1,
+            false_commit_invalidations=20,
+            safe_writebacks=430,
+            wr_wr_conflicts=2,
+        )
+        assert stats.avg_read_set == 39.6
+        assert stats.avg_write_set == 10.3
+        assert stats.avg_dependence_set == 2.4
+        assert stats.false_squash_percent == 10.0
+        assert stats.false_invalidations_per_commit == 0.2
+        assert stats.safe_writebacks_per_task == 4.3
+        assert stats.wr_wr_conflicts_per_1k_tasks == 20.0
+
+    def test_speedup(self):
+        stats = TlsStats(cycles=500, sequential_cycles=800)
+        assert stats.speedup == 1.6

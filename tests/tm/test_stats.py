@@ -1,0 +1,35 @@
+"""Tests for TM statistics derivations."""
+
+from repro.tm.stats import TmStats
+
+
+class TestDerivedMetrics:
+    def test_zero_division_guards(self):
+        stats = TmStats()
+        assert stats.avg_read_set == 0.0
+        assert stats.avg_write_set == 0.0
+        assert stats.avg_dependence_set == 0.0
+        assert stats.false_squash_percent == 0.0
+        assert stats.false_invalidations_per_commit == 0.0
+        assert stats.safe_writebacks_per_txn == 0.0
+
+    def test_averages(self):
+        stats = TmStats(
+            committed_transactions=4,
+            read_set_granules=100,
+            write_set_granules=40,
+            safe_writebacks=2,
+            false_commit_invalidations=6,
+        )
+        assert stats.avg_read_set == 25.0
+        assert stats.avg_write_set == 10.0
+        assert stats.safe_writebacks_per_txn == 0.5
+        assert stats.false_invalidations_per_commit == 1.5
+
+    def test_false_squash_percent(self):
+        stats = TmStats(squashes=8, false_positive_squashes=2)
+        assert stats.false_squash_percent == 25.0
+
+    def test_dependence_set_average(self):
+        stats = TmStats(squashes=4, dependence_granules=6)
+        assert stats.avg_dependence_set == 1.5

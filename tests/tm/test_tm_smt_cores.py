@@ -1,0 +1,172 @@
+"""SMT cores in TM: multiple version contexts in one BDM (Figure 7).
+
+With ``threads_per_core > 1``, consecutive hardware threads share a
+cache and a BDM; each transaction occupies its own version context.
+These tests exercise the multi-version mechanics the single-threaded
+TM configuration never reaches: concurrent active contexts, the
+W_i ∩ W_j = ∅ guarantee, Set Restriction conflicts between co-resident
+threads, and the BDM's nack of intra-core reads of speculative data.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.errors import SimulationError
+from repro.sim.trace import ThreadTrace, compute, load, store, tx_begin, tx_end
+from repro.tm.bulk import BulkScheme
+from repro.tm.lazy import LazyScheme
+from repro.tm.params import TmParams
+from repro.tm.system import TmSystem
+
+SMT = TmParams(num_processors=2, threads_per_core=2)
+
+
+def txn(events):
+    return [tx_begin()] + events + [tx_end()]
+
+
+class TestConfiguration:
+    def test_exact_schemes_reject_smt(self):
+        traces = [ThreadTrace(0, txn([load(0)])), ThreadTrace(1, txn([load(64)]))]
+        with pytest.raises(SimulationError, match="version IDs"):
+            TmSystem(traces, LazyScheme(), SMT)
+
+    def test_co_threads_share_cache_and_bdm(self):
+        traces = [
+            ThreadTrace(0, txn([load(0x1000)])),
+            ThreadTrace(1, txn([load(0x2000)])),
+        ]
+        scheme = BulkScheme()
+        system = TmSystem(traces, scheme, SMT)
+        assert system.processors[0].cache is system.processors[1].cache
+        assert scheme.bdm_of(system.processors[0]) is (
+            scheme.bdm_of(system.processors[1])
+        )
+
+
+class TestConcurrentContexts:
+    def test_disjoint_transactions_coexist_and_commit(self):
+        first = ThreadTrace(
+            0, txn([load(0x10000), store(0x10000, 1), compute(200)])
+        )
+        second = ThreadTrace(
+            1, txn([load(0x90040), store(0x90040, 2), compute(200)])
+        )
+        scheme = BulkScheme()
+        system = TmSystem([first, second], scheme, SMT)
+        result = system.run()
+        assert result.stats.committed_transactions == 2
+        assert result.memory.load(0x10000 >> 2) == 1
+        assert result.memory.load(0x90040 >> 2) == 2
+
+    def test_disjoint_write_signatures_invariant_holds(self):
+        """While both contexts are live, W_i ∩ W_j = ∅ (Section 4.5)."""
+        first = ThreadTrace(
+            0, txn([store(0x10000, 1), compute(400)])
+        )
+        second = ThreadTrace(
+            1, txn([compute(100), store(0x90040, 2), compute(400)])
+        )
+        scheme = BulkScheme()
+        system = TmSystem([first, second], scheme, SMT)
+        checked = []
+        original = scheme.record_store
+
+        def spy(sys_, proc, byte_address):
+            original(sys_, proc, byte_address)
+            bdm = scheme.bdm_of(proc)
+            if len(bdm.active_contexts()) == 2:
+                bdm.assert_disjoint_write_signatures()
+                checked.append(True)
+
+        scheme.record_store = spy
+        system.run()
+        assert checked, "two contexts never coexisted"
+
+
+class TestSetRestrictionAcrossThreads:
+    def test_shorter_running_requester_stalls(self):
+        """Thread 1 (shorter-running) stores into the cache set thread
+        0's context owns: the (0,1) case of Section 4.5 — the requester
+        is preempted (stalls) until the owner commits."""
+        # Same cache set (line addresses congruent mod 128).
+        first = ThreadTrace(
+            0, txn([store(0x40 << 6, 1), compute(600)])
+        )
+        second = ThreadTrace(
+            1, txn([compute(100), store((0x40 + 128) << 6, 2), compute(50)])
+        )
+        system = TmSystem([first, second], BulkScheme(), SMT)
+        result = system.run()
+        assert result.stats.committed_transactions == 2
+        assert result.stats.set_restriction_conflicts >= 1
+        assert result.memory.load((0x40 << 6) >> 2) == 1
+        assert result.memory.load(((0x40 + 128) << 6) >> 2) == 2
+
+    def test_shorter_running_owner_is_squashed(self):
+        """When the *owner* is the shorter-running transaction, it is
+        squashed instead (the strict order that prevents stall cycles)."""
+        # Thread 1 does plenty of work before its conflicting store;
+        # thread 0's transaction starts late and owns the set briefly.
+        first = ThreadTrace(
+            0,
+            [compute(150)] + txn([store(0x40 << 6, 1), compute(500)]),
+        )
+        second = ThreadTrace(
+            1,
+            txn([
+                load(0x90000), load(0x90040), load(0x90080), compute(80),
+                store((0x40 + 128) << 6, 2), compute(50),
+            ]),
+        )
+        system = TmSystem([first, second], BulkScheme(), SMT)
+        result = system.run()
+        assert result.stats.committed_transactions == 2
+        assert result.stats.set_restriction_conflicts >= 1
+        assert result.stats.squashes >= 1
+        assert result.memory.load((0x40 << 6) >> 2) == 1
+        assert result.memory.load(((0x40 + 128) << 6) >> 2) == 2
+
+    def test_nonspec_store_also_respects_the_restriction(self):
+        speculative = ThreadTrace(
+            0, txn([store(0x40 << 6, 1), compute(600)])
+        )
+        nonspec = ThreadTrace(
+            1, [compute(100), store((0x40 + 128) << 6, 9)]
+        )
+        result = TmSystem([speculative, nonspec], BulkScheme(), SMT).run()
+        assert result.stats.committed_transactions == 1
+        assert result.stats.squashes >= 1
+        assert result.memory.load(((0x40 + 128) << 6) >> 2) == 9
+        assert result.memory.load((0x40 << 6) >> 2) == 1
+
+
+class TestIntraCoreIsolation:
+    def test_reading_co_thread_speculative_line_is_nacked(self):
+        """Thread 1 reads a line thread 0 speculatively wrote in the
+        shared cache: the BDM nacks and memory serves the committed
+        value — the stale-read oracle would fire otherwise."""
+        writer = ThreadTrace(
+            0, txn([store(0x7000, 42), compute(600)])
+        )
+        reader = ThreadTrace(
+            1, [compute(100)] + txn([load(0x7000), compute(30)])
+        )
+        result = TmSystem([writer, reader], BulkScheme(), SMT).run()
+        assert result.stats.committed_transactions == 2
+        assert result.memory.load(0x7000 >> 2) == 42
+
+    def test_four_threads_two_cores(self):
+        params = TmParams(num_processors=4, threads_per_core=2)
+        traces = [
+            ThreadTrace(tid, txn([
+                load(0x10000 + tid * 0x10000),
+                store(0x10000 + tid * 0x10000, tid + 1),
+                compute(100),
+            ]) * 2)
+            for tid in range(4)
+        ]
+        result = TmSystem(traces, BulkScheme(), params).run()
+        assert result.stats.committed_transactions == 8
+        for tid in range(4):
+            assert result.memory.load((0x10000 + tid * 0x10000) >> 2) == tid + 1

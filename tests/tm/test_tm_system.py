@@ -1,0 +1,195 @@
+"""Integration tests of the TM system with hand-built microtraces."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.trace import ThreadTrace, compute, load, store, tx_begin, tx_end
+from repro.tm.bulk import BulkScheme
+from repro.tm.eager import EagerScheme
+from repro.tm.lazy import LazyScheme
+from repro.tm.params import TmParams
+from repro.tm.system import TmSystem
+
+ALL_SCHEMES = [EagerScheme, LazyScheme, BulkScheme]
+
+
+def run(traces, scheme_cls, **params):
+    system = TmSystem(
+        [ThreadTrace(t.thread_id, t.events) for t in traces],
+        scheme_cls(),
+        TmParams(**params) if params else TmParams(),
+    )
+    return system.run()
+
+
+def simple_txn(tid, base, n=4):
+    events = [tx_begin()]
+    for i in range(n):
+        events.append(load(base + i * 64))
+    for i in range(n // 2):
+        events.append(store(base + i * 64, tid * 1000 + i))
+    events.append(tx_end())
+    return events
+
+
+class TestBasicExecution:
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_single_thread_commits(self, scheme_cls):
+        trace = ThreadTrace(0, simple_txn(0, 0x1000))
+        result = run([trace], scheme_cls)
+        assert result.stats.committed_transactions == 1
+        assert result.stats.squashes == 0
+
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_committed_state_reaches_memory(self, scheme_cls):
+        trace = ThreadTrace(0, [tx_begin(), store(0x40, 7), tx_end()])
+        result = run([trace], scheme_cls)
+        assert result.memory.load(0x40 >> 2) == 7
+
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_disjoint_threads_never_squash(self, scheme_cls):
+        traces = [
+            ThreadTrace(0, simple_txn(0, 0x10000) * 3),
+            ThreadTrace(1, simple_txn(1, 0x90000) * 3),
+        ]
+        result = run(traces, scheme_cls)
+        assert result.stats.committed_transactions == 6
+        assert result.stats.squashes == 0
+
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_nontransactional_code_runs(self, scheme_cls):
+        trace = ThreadTrace(0, [store(0x100, 5), load(0x100), compute(10)])
+        result = run([trace], scheme_cls)
+        assert result.memory.load(0x100 >> 2) == 5
+        assert result.stats.committed_transactions == 0
+
+
+class TestConflicts:
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_conflicting_rmw_serialises(self, scheme_cls):
+        def rmw_thread(tid):
+            events = []
+            for _ in range(4):
+                events += [tx_begin(), load(0x5000), store(0x5000, tid), tx_end()]
+                events.append(compute(5))
+            return ThreadTrace(tid, events)
+
+        result = run([rmw_thread(0), rmw_thread(1)], scheme_cls)
+        assert result.stats.committed_transactions == 8
+        # The final value belongs to whichever committed last, and all
+        # commits are serialised.
+        assert result.memory.load(0x5000 >> 2) in (0, 1)
+
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_squashes_happen_on_contention(self, scheme_cls):
+        def contender(tid):
+            events = []
+            for _ in range(6):
+                events += [
+                    tx_begin(),
+                    load(0x7000),
+                    compute(40),
+                    store(0x7000, tid),
+                    tx_end(),
+                ]
+            return ThreadTrace(tid, events)
+
+        result = run([contender(t) for t in range(4)], scheme_cls)
+        assert result.stats.committed_transactions == 24
+        assert result.stats.squashes > 0
+
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_nonspec_store_squashes_readers(self, scheme_cls):
+        reader = ThreadTrace(
+            0, [tx_begin(), load(0x9000), compute(500), tx_end()]
+        )
+        writer = ThreadTrace(1, [compute(50), store(0x9000, 3)])
+        result = run([reader, writer], scheme_cls)
+        assert result.stats.committed_transactions == 1
+        assert result.stats.squashes >= 1
+        assert result.memory.load(0x9000 >> 2) == 3
+
+
+class TestCommitOrderWitness:
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_commit_replay_matches_final_memory(self, scheme_cls):
+        traces = [
+            ThreadTrace(0, simple_txn(0, 0x10000) + simple_txn(0, 0x20000)),
+            ThreadTrace(1, simple_txn(1, 0x30000)),
+        ]
+        system = TmSystem(traces, scheme_cls())
+        result = system.run()
+        replayed = system.replay_serial_reference()
+        assert replayed == result.memory
+
+
+class TestLivelockGuard:
+    @staticmethod
+    def _figure_12a_thread(tid):
+        """ld A ... st A ... with work after the store, so the peer's
+        restarted read lands before the commit — the mutual-squash window
+        of Figure 12(a)."""
+        return ThreadTrace(
+            tid,
+            [tx_begin(), load(0x5000), compute(30), store(0x5000, tid),
+             compute(120), tx_end()],
+        )
+
+    def test_runaway_transaction_detected(self):
+        # With mitigation off, two symmetric read-modify-write threads
+        # squash each other forever (Figure 12a).
+        with pytest.raises(SimulationError):
+            run(
+                [self._figure_12a_thread(0), self._figure_12a_thread(1)],
+                EagerScheme,
+                eager_livelock_mitigation=False,
+                max_attempts_per_txn=25,
+            )
+
+    def test_mitigation_restores_progress(self):
+        result = run(
+            [self._figure_12a_thread(0), self._figure_12a_thread(1)],
+            EagerScheme,
+            eager_livelock_mitigation=True,
+            max_attempts_per_txn=25,
+        )
+        assert result.stats.committed_transactions == 2
+        assert result.stats.mitigation_stalls >= 1
+
+
+class TestFigure12b:
+    def test_reader_squashed_in_eager_but_not_lazy(self):
+        """Figure 12(b): T1 reads A early and would commit first; T2
+        stores A later.  Eager squashes T1 at T2's store; Lazy lets T1
+        commit first and squashes nobody."""
+        # The reader holds A while the writer stores it, but the reader
+        # commits well before the writer would.
+        reader = ThreadTrace(
+            0, [tx_begin(), load(0xA000), compute(300), tx_end()]
+        )
+        writer = ThreadTrace(
+            1,
+            [tx_begin(), compute(100), store(0xA000, 9), compute(600),
+             tx_end()],
+        )
+        eager = run([reader, writer], EagerScheme)
+        lazy = run([reader, writer], LazyScheme)
+        assert eager.stats.squashes >= 1
+        assert lazy.stats.squashes == 0
+
+
+class TestStaleReadOracle:
+    @pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+    def test_refetched_lines_are_fresh_after_commit(self, scheme_cls):
+        """A thread caches a line, another transaction commits a write to
+        it, and the first thread reads it again — it must observe the
+        committed value (the invalidation machinery at work)."""
+        reader = ThreadTrace(
+            0,
+            [load(0xB000), compute(400), load(0xB000)],
+        )
+        writer = ThreadTrace(
+            1, [compute(50), tx_begin(), store(0xB000, 5), tx_end()]
+        )
+        result = run([reader, writer], scheme_cls)
+        assert result.memory.load(0xB000 >> 2) == 5

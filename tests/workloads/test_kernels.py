@@ -1,0 +1,131 @@
+"""Tests for the seven TM workload kernels."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import EventKind
+from repro.workloads.kernels import TM_KERNELS, build_tm_workload
+from repro.workloads.kernels.common import AddressSpace, TraceBuilder
+import random
+
+KERNEL_NAMES = sorted(TM_KERNELS)
+
+
+class TestAddressSpace:
+    def test_arrays_do_not_overlap(self):
+        rng = random.Random(0)
+        space = AddressSpace(rng)
+        a = space.array("a", 1000)
+        b = space.array("b", 1000)
+        a_span = range(a, a + 4000)
+        assert b not in a_span and b + 3999 not in a_span
+
+    def test_double_allocation_rejected(self):
+        space = AddressSpace(random.Random(0))
+        space.array("x", 10)
+        with pytest.raises(ConfigurationError):
+            space.array("x", 10)
+
+    def test_out_of_bounds_index_rejected(self):
+        space = AddressSpace(random.Random(0))
+        space.array("x", 10)
+        with pytest.raises(ConfigurationError):
+            space.addr("x", 10)
+
+    def test_record_array_scatters_records(self):
+        space = AddressSpace(random.Random(0))
+        space.record_array("recs", 16, 8)
+        bases = {space.addr("recs", i * 8) >> 6 for i in range(16)}
+        assert len(bases) == 16  # all records on distinct lines
+        # Fields within a record are contiguous.
+        assert space.addr("recs", 3) == space.addr("recs", 0) + 12
+
+    def test_record_array_multi_line_records(self):
+        space = AddressSpace(random.Random(0))
+        space.record_array("big", 4, 64)  # 4-line records
+        first = space.addr("big", 0)
+        last = space.addr("big", 63)
+        assert last - first == 63 * 4
+
+
+class TestTraceBuilder:
+    def test_rmw_reads_then_writes(self):
+        space = AddressSpace(random.Random(0))
+        space.array("x", 4)
+        builder = TraceBuilder(0, space)
+        builder.st("x", 0, 10)
+        assert builder.rmw("x", 0, 5) == 15
+        kinds = [e.kind for e in builder.events]
+        assert kinds == [EventKind.STORE, EventKind.LOAD, EventKind.STORE]
+
+    def test_shared_image_across_builders(self):
+        from repro.workloads.kernels.common import make_builders
+
+        space = AddressSpace(random.Random(0))
+        space.array("x", 4)
+        first, second = make_builders(2, space)
+        first.st("x", 0, 7)
+        assert second.ld("x", 0) == 7
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_produces_one_trace_per_thread(self, name):
+        traces = build_tm_workload(name, num_threads=4, txns_per_thread=3, seed=1)
+        assert len(traces) == 4
+        assert [t.thread_id for t in traces] == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_every_thread_has_transactions(self, name):
+        traces = build_tm_workload(name, num_threads=4, txns_per_thread=3, seed=1)
+        for trace in traces:
+            assert trace.transaction_count() >= 1
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_deterministic_for_seed(self, name):
+        first = build_tm_workload(name, num_threads=2, txns_per_thread=2, seed=5)
+        second = build_tm_workload(name, num_threads=2, txns_per_thread=2, seed=5)
+        for a, b in zip(first, second):
+            assert a.events == b.events
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_different_seeds_differ(self, name):
+        first = build_tm_workload(name, num_threads=2, txns_per_thread=2, seed=1)
+        second = build_tm_workload(name, num_threads=2, txns_per_thread=2, seed=2)
+        assert any(a.events != b.events for a, b in zip(first, second))
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_tm_workload("nosuch")
+
+    def test_jbb_nests_transactions(self):
+        traces = build_tm_workload("sjbb2k", num_threads=2, txns_per_thread=2)
+        depth = 0
+        max_depth = 0
+        for event in traces[0].events:
+            if event.kind is EventKind.TX_BEGIN:
+                depth += 1
+                max_depth = max(max_depth, depth)
+            elif event.kind is EventKind.TX_END:
+                depth -= 1
+        assert max_depth == 2
+
+    @pytest.mark.parametrize("name", KERNEL_NAMES)
+    def test_runs_to_completion_under_all_schemes(self, name):
+        from repro.tm.bulk import BulkScheme
+        from repro.tm.eager import EagerScheme
+        from repro.tm.lazy import LazyScheme
+        from repro.tm.system import TmSystem
+
+        expected = None
+        for scheme_cls in (EagerScheme, LazyScheme, BulkScheme):
+            traces = build_tm_workload(
+                name, num_threads=4, txns_per_thread=3, seed=9
+            )
+            result = TmSystem(traces, scheme_cls()).run()
+            committed = result.stats.committed_transactions
+            total = sum(t.transaction_count() for t in traces)
+            assert committed == total
+            if expected is None:
+                expected = committed
+            assert committed == expected

@@ -1,0 +1,51 @@
+"""Tests for the synthetic TM workload generator."""
+
+from repro.sim.trace import EventKind
+from repro.workloads.synthetic import SyntheticTmConfig, build_synthetic_tm
+
+
+class TestSyntheticTm:
+    def test_shape_matches_config(self):
+        config = SyntheticTmConfig(num_threads=3, txns_per_thread=5)
+        traces = build_synthetic_tm(config, seed=1)
+        assert len(traces) == 3
+        for trace in traces:
+            assert trace.transaction_count() == 5
+
+    def test_read_set_size_controlled(self):
+        config = SyntheticTmConfig(
+            num_threads=1, txns_per_thread=4, read_set_lines=25,
+            conflict_prob=0.0, nonspec_events=0,
+        )
+        trace = build_synthetic_tm(config, seed=2)[0]
+        loads = sum(1 for e in trace.events if e.kind is EventKind.LOAD)
+        assert loads == 4 * 25
+
+    def test_zero_conflict_prob_gives_disjoint_threads(self):
+        from repro.tm.lazy import LazyScheme
+        from repro.tm.system import TmSystem
+
+        config = SyntheticTmConfig(
+            num_threads=4, txns_per_thread=4, conflict_prob=0.0,
+            nonspec_events=0,
+        )
+        result = TmSystem(build_synthetic_tm(config, seed=3), LazyScheme()).run()
+        assert result.stats.squashes == 0
+
+    def test_high_conflict_prob_causes_squashes(self):
+        from repro.tm.lazy import LazyScheme
+        from repro.tm.system import TmSystem
+
+        config = SyntheticTmConfig(
+            num_threads=8, txns_per_thread=6, conflict_prob=1.0,
+            conflict_lines=1, compute_cycles=120,
+        )
+        result = TmSystem(build_synthetic_tm(config, seed=3), LazyScheme()).run()
+        assert result.stats.squashes > 0
+
+    def test_deterministic(self):
+        config = SyntheticTmConfig()
+        a = build_synthetic_tm(config, seed=9)
+        b = build_synthetic_tm(config, seed=9)
+        for x, y in zip(a, b):
+            assert x.events == y.events

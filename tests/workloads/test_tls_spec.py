@@ -1,0 +1,86 @@
+"""Tests for the SPECint TLS workload generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import EventKind
+from repro.workloads.tls_spec import (
+    TLS_APPLICATIONS,
+    build_tls_workload,
+)
+
+APP_NAMES = sorted(TLS_APPLICATIONS)
+
+
+class TestProfiles:
+    def test_all_nine_applications_present(self):
+        assert APP_NAMES == sorted(
+            ["bzip2", "crafty", "gap", "gzip", "mcf", "parser", "twolf",
+             "vortex", "vpr"]
+        )
+
+    def test_crafty_has_largest_read_set(self):
+        # Matches Table 6's footprint ordering.
+        crafty = TLS_APPLICATIONS["crafty"].read_words
+        assert all(
+            crafty >= profile.read_words
+            for profile in TLS_APPLICATIONS.values()
+        )
+
+    def test_mcf_has_smallest_write_set(self):
+        mcf = TLS_APPLICATIONS["mcf"].write_words
+        assert all(
+            mcf <= profile.write_words for profile in TLS_APPLICATIONS.values()
+        )
+
+
+class TestGenerator:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_tls_workload("doom")
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_task_ids_sequential(self, app):
+        tasks = build_tls_workload(app, num_tasks=10, seed=1)
+        assert [t.task_id for t in tasks] == list(range(10))
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_deterministic(self, app):
+        first = build_tls_workload(app, num_tasks=10, seed=4)
+        second = build_tls_workload(app, num_tasks=10, seed=4)
+        for a, b in zip(first, second):
+            assert a.events == b.events
+            assert a.spawn_cursor == b.spawn_cursor
+
+    @pytest.mark.parametrize("app", APP_NAMES)
+    def test_footprints_near_profile(self, app):
+        profile = TLS_APPLICATIONS[app]
+        tasks = build_tls_workload(app, num_tasks=60, seed=2)
+        reads = [
+            sum(1 for e in t.events if e.kind is EventKind.LOAD)
+            for t in tasks
+        ]
+        avg_reads = sum(reads) / len(reads)
+        # Task sizes are randomised around the Table 6 target.
+        assert 0.4 * profile.read_words <= avg_reads <= 1.6 * profile.read_words
+
+    def test_runs_under_every_scheme_with_identical_memory(self):
+        from repro.tls.bulk import TlsBulkScheme
+        from repro.tls.eager import TlsEagerScheme
+        from repro.tls.lazy import TlsLazyScheme
+        from repro.tls.system import TlsSystem
+
+        finals = []
+        for scheme in (
+            TlsEagerScheme(),
+            TlsLazyScheme(),
+            TlsBulkScheme(True),
+            TlsBulkScheme(False),
+        ):
+            tasks = build_tls_workload("gzip", num_tasks=40, seed=11)
+            result = TlsSystem(tasks, scheme).run()
+            assert result.stats.committed_tasks == 40
+            finals.append(
+                {k: v for k, v in result.memory.snapshot().items() if v}
+            )
+        assert all(final == finals[0] for final in finals)
