@@ -3,6 +3,12 @@
 These time the software model itself (address insertion, intersection,
 membership, delta decode, RLE) — useful for tracking the simulator's
 own performance, not a paper result.
+
+The hot operations run on the packed flat-integer representation; the
+``*_listpath`` benchmarks time the original per-field-list algorithms
+against the same registers, so a benchmark run shows the before/after
+of the fast path directly (``intersects`` is the headline: one big-int
+AND vs a per-field generator walk).
 """
 
 import random
@@ -16,15 +22,42 @@ from repro.core.expansion import expand_signature
 from repro.core.rle import rle_encode
 from repro.core.signature import Signature
 from repro.core.signature_config import default_tm_config
+from repro.errors import ConfigurationError
 
 CONFIG = default_tm_config()
 RNG = random.Random(5)
 ADDRESSES = [RNG.randrange(1 << 26) for _ in range(64)]
 
 
+# Reference implementations of the original per-field-list operations,
+# identical to the pre-fast-path Signature methods.
+
+def listpath_intersects(a: Signature, b: Signature) -> bool:
+    if a.config != b.config:
+        raise ConfigurationError("incompatible signatures")
+    return all(x & y for x, y in zip(a.fields, b.fields))
+
+
+def listpath_union(a: Signature, b: Signature) -> Signature:
+    if a.config != b.config:
+        raise ConfigurationError("incompatible signatures")
+    result = Signature(a.config)
+    result.fields = [x | y for x, y in zip(a.fields, b.fields)]
+    return result
+
+
+def listpath_contains(a: Signature, address: int) -> bool:
+    return all(
+        (a.fields[index] >> chunk) & 1
+        for index, chunk in enumerate(a.config.encode(address))
+    )
+
+
 @pytest.fixture(scope="module")
 def filled_signature():
-    return Signature.from_addresses(CONFIG, ADDRESSES)
+    signature = Signature.from_addresses(CONFIG, ADDRESSES)
+    signature.fields  # materialise the per-field view for the list paths
+    return signature
 
 
 def test_bench_signature_insert(benchmark):
@@ -42,8 +75,29 @@ def test_bench_intersection(benchmark, filled_signature):
     benchmark(lambda: filled_signature.intersects(other))
 
 
+def test_bench_intersection_listpath(benchmark, filled_signature):
+    other = Signature.from_addresses(CONFIG, ADDRESSES[:32])
+    other.fields
+    benchmark(lambda: listpath_intersects(filled_signature, other))
+
+
+def test_bench_union(benchmark, filled_signature):
+    other = Signature.from_addresses(CONFIG, ADDRESSES[:32])
+    benchmark(lambda: filled_signature | other)
+
+
+def test_bench_union_listpath(benchmark, filled_signature):
+    other = Signature.from_addresses(CONFIG, ADDRESSES[:32])
+    other.fields
+    benchmark(lambda: listpath_union(filled_signature, other))
+
+
 def test_bench_membership(benchmark, filled_signature):
     benchmark(lambda: ADDRESSES[7] in filled_signature)
+
+
+def test_bench_membership_listpath(benchmark, filled_signature):
+    benchmark(lambda: listpath_contains(filled_signature, ADDRESSES[7]))
 
 
 def test_bench_delta_decode(benchmark, filled_signature):

@@ -3,7 +3,9 @@
 Every table and figure of the paper's evaluation draws on the same two
 sweeps (all TM applications under every scheme; all TLS applications
 under every scheme), so they are executed once per benchmark session and
-shared across the per-figure benchmark modules.
+shared across the per-figure benchmark modules.  The sweeps run through
+the parallel :class:`~repro.runner.GridRunner`, so a multi-core host
+computes the grid points concurrently.
 
 Scale knobs (environment variables):
 
@@ -13,22 +15,24 @@ Scale knobs (environment variables):
     Tasks per application for the TLS sweep (default 120).
 ``BULK_BENCH_SEED``
     Workload seed (default 42).
+``BULK_BENCH_JOBS``
+    Worker processes for the sweeps; ``auto`` (default) uses one per
+    CPU, ``1`` forces serial in-process execution.
+``BULK_BENCH_CACHE_DIR``
+    Optional on-disk result cache — re-running the harness then only
+    recomputes grid points whose parameters or simulator code changed.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import pytest
 
 from repro.analysis.accuracy import collect_tm_samples
-from repro.analysis.experiments import (
-    TlsComparison,
-    TmComparison,
-    run_tls_comparison,
-    run_tm_comparison,
-)
+from repro.analysis.experiments import TlsComparison, TmComparison
+from repro.runner import GridRunner, tls_point, tm_point
 from repro.workloads.kernels import TM_KERNELS
 from repro.workloads.tls_spec import TLS_APPLICATIONS
 
@@ -37,27 +41,39 @@ TLS_TASKS = int(os.environ.get("BULK_BENCH_TLS_TASKS", "120"))
 SEED = int(os.environ.get("BULK_BENCH_SEED", "42"))
 
 
+def _jobs() -> Optional[int]:
+    raw = os.environ.get("BULK_BENCH_JOBS", "auto")
+    return None if raw == "auto" else int(raw)
+
+
+def _runner() -> GridRunner:
+    return GridRunner(
+        jobs=_jobs(), cache_dir=os.environ.get("BULK_BENCH_CACHE_DIR")
+    )
+
+
 @pytest.fixture(scope="session")
 def tm_results() -> Dict[str, TmComparison]:
     """Every TM application under Eager, Lazy, Bulk and Bulk-Partial."""
-    return {
-        app: run_tm_comparison(
-            app,
-            txns_per_thread=TM_TXNS,
-            seed=SEED,
-            include_partial=True,
+    points = {
+        app: tm_point(
+            app, seed=SEED, txns_per_thread=TM_TXNS, include_partial=True
         )
         for app in sorted(TM_KERNELS)
     }
+    merged = _runner().run(list(points.values()))
+    return {app: merged.comparison(point) for app, point in points.items()}
 
 
 @pytest.fixture(scope="session")
 def tls_results() -> Dict[str, TlsComparison]:
     """Every TLS application under Eager, Lazy, Bulk and BulkNoOverlap."""
-    return {
-        app: run_tls_comparison(app, num_tasks=TLS_TASKS, seed=SEED)
+    points = {
+        app: tls_point(app, seed=SEED, num_tasks=TLS_TASKS)
         for app in sorted(TLS_APPLICATIONS)
     }
+    merged = _runner().run(list(points.values()))
+    return {app: merged.comparison(point) for app, point in points.items()}
 
 
 @pytest.fixture(scope="session")

@@ -133,8 +133,17 @@ def _cmd_fig12(_args: argparse.Namespace) -> int:
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
-    """Run the whole evaluation and archive tables + CSVs to a directory."""
+    """Run the whole evaluation and archive tables + CSVs to a directory.
+
+    The (application × scheme) sweeps behind Figures 10-15 and Tables
+    6-8 execute through the parallel :class:`~repro.runner.GridRunner`:
+    ``--jobs`` controls the worker count, and finished grid points are
+    cached under ``<out>/.cache`` (disable with ``--no-cache``) so an
+    interrupted or repeated run only recomputes what changed.
+    """
     import pathlib
+
+    from repro.runner import GridRunner, tls_point, tm_point
 
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -143,11 +152,32 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         (out / name).write_text(text + "\n", encoding="utf-8")
         print(f"wrote {out / name}")
 
-    # Figure 10 / Table 6 --------------------------------------------------
-    tls = {
-        app: run_tls_comparison(app, num_tasks=args.tls_tasks, seed=args.seed)
+    cache_dir = None if args.no_cache else (args.cache_dir or out / ".cache")
+    try:
+        runner = GridRunner(jobs=args.jobs, cache_dir=cache_dir)
+    except (FileExistsError, NotADirectoryError):
+        print(f"error: cache directory {cache_dir} is not a directory",
+              file=sys.stderr)
+        return 2
+    tls_points = {
+        app: tls_point(app, seed=args.seed, num_tasks=args.tls_tasks)
         for app in sorted(TLS_APPLICATIONS)
     }
+    tm_points = {
+        app: tm_point(
+            app,
+            seed=args.seed,
+            txns_per_thread=args.tm_txns,
+            include_partial=True,
+        )
+        for app in sorted(TM_KERNELS)
+    }
+    merged = runner.run(list(tls_points.values()) + list(tm_points.values()))
+    if merged.cached_keys:
+        print(f"{len(merged.cached_keys)} grid point(s) served from cache")
+
+    # Figure 10 / Table 6 --------------------------------------------------
+    tls = {app: merged.comparison(point) for app, point in tls_points.items()}
     fig10_headers = ["App", "Eager", "Lazy", "Bulk", "BulkNoOverlap"]
     fig10_rows = [
         [app] + [c.speedup(s) for s in fig10_headers[1:]]
@@ -169,11 +199,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     write("table6.csv", render_csv(t6_headers, t6_rows))
 
     # Figure 11 / 13 / 14 / Table 7 ---------------------------------------
-    tm = {
-        app: run_tm_comparison(app, txns_per_thread=args.tm_txns,
-                               seed=args.seed, include_partial=True)
-        for app in sorted(TM_KERNELS)
-    }
+    tm = {app: merged.comparison(point) for app, point in tm_points.items()}
     fig11_headers = ["App", "Eager", "Lazy", "Bulk", "Bulk-Partial"]
     fig11_rows = [
         [app] + [c.speedup_over_eager(s) for s in fig11_headers[1:]]
@@ -240,6 +266,13 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -291,6 +324,14 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--tls-tasks", type=int, default=120)
     reproduce.add_argument("--samples", type=int, default=200)
     reproduce.add_argument("--seed", type=int, default=42)
+    reproduce.add_argument("--jobs", type=_positive_int, default=None,
+                           help="worker processes for the sweeps "
+                           "(default: one per CPU)")
+    reproduce.add_argument("--cache-dir", default=None,
+                           help="result cache directory "
+                           "(default: <out>/.cache)")
+    reproduce.add_argument("--no-cache", action="store_true",
+                           help="recompute every grid point")
     reproduce.set_defaults(func=_cmd_reproduce)
 
     return parser

@@ -38,6 +38,7 @@ class ChunkLayout:
         "chunk_offsets",
         "field_sizes",
         "field_offsets",
+        "field_masks",
         "signature_bits",
     )
 
@@ -71,6 +72,13 @@ class ChunkLayout:
             position += size
         #: Bit offset of each V_i field within the flattened signature.
         self.field_offsets: Tuple[int, ...] = tuple(field_offsets)
+        #: Mask of each V_i field at its position within the flattened
+        #: signature — the per-field emptiness tests of the packed fast
+        #: path AND against these.
+        self.field_masks: Tuple[int, ...] = tuple(
+            ((1 << size) - 1) << offset
+            for offset, size in zip(field_offsets, self.field_sizes)
+        )
         #: Total signature size in bits (Table 8's *Full Size* column).
         self.signature_bits = position
 

@@ -6,8 +6,8 @@ of addresses.  The primitive operations are:
 ========================  ===================================================
 Operation                 Implementation here
 ========================  ===================================================
-intersection (``&``)      per-field bitwise AND
-union (``|``)             per-field bitwise OR
+intersection (``&``)      one bitwise AND of the packed registers
+union (``|``)             one bitwise OR of the packed registers
 emptiness                 *any* V_i field all-zero  (every insertion sets one
                           bit in every field, so a non-empty signature has at
                           least one bit set in each field)
@@ -20,6 +20,17 @@ Superset semantics: for an address set ``A``, ``H(A)`` contains every
 member of ``A`` (no false negatives) and possibly aliases (false
 positives).  Aliasing hurts performance, never correctness — the test
 suite's property tests pin both halves of that contract.
+
+Representation
+--------------
+The primary storage is the *flat* integer — all V_i fields concatenated,
+V_1 at the low end, exactly the wire format of :meth:`Signature.to_flat_int`.
+Intersection, union, and the hot :meth:`Signature.intersects` are then
+single big-int bitwise operations; per-field views are rebuilt lazily (and
+cached) only when a caller actually needs them (:attr:`Signature.fields`,
+:meth:`Signature.field_values`, the delta decode).  The per-field list
+semantics are unchanged — the property tests run every operation against
+a per-field-list reference implementation.
 """
 
 from __future__ import annotations
@@ -34,17 +45,19 @@ from repro.errors import ConfigurationError
 class Signature:
     """A mutable signature register of a fixed configuration.
 
-    Each V_i field is stored as a Python integer used as a bit vector of
-    ``2**c_i`` bits.  All operations between two signatures require the
-    same :class:`~repro.core.signature_config.SignatureConfig` — hardware
+    The register is stored packed: one Python integer holding every V_i
+    field at its :attr:`~repro.core.fields.ChunkLayout.field_offsets`
+    position.  All operations between two signatures require the same
+    :class:`~repro.core.signature_config.SignatureConfig` — hardware
     registers of different shapes cannot be combined.
     """
 
-    __slots__ = ("config", "fields")
+    __slots__ = ("config", "_flat", "_fields")
 
     def __init__(self, config: SignatureConfig) -> None:
         self.config = config
-        self.fields: List[int] = [0] * config.layout.num_fields
+        self._flat = 0
+        self._fields: "List[int] | None" = None
 
     @classmethod
     def from_addresses(
@@ -56,28 +69,70 @@ class Signature:
             signature.add(address)
         return signature
 
+    @property
+    def fields(self) -> List[int]:
+        """The V_i fields as a list of per-field bit vectors.
+
+        Rebuilt lazily from the packed register and cached until the next
+        mutation.  Treat the list as a read-only snapshot — mutating it
+        does not write back into the register.
+        """
+        if self._fields is None:
+            flat = self._flat
+            layout = self.config.layout
+            self._fields = [
+                (flat >> offset) & ((1 << size) - 1)
+                for offset, size in zip(layout.field_offsets, layout.field_sizes)
+            ]
+        return self._fields
+
+    @fields.setter
+    def fields(self, values: List[int]) -> None:
+        layout = self.config.layout
+        if len(values) != layout.num_fields:
+            raise ConfigurationError(
+                f"expected {layout.num_fields} fields, got {len(values)}"
+            )
+        flat = 0
+        for offset, size, value in zip(
+            layout.field_offsets, layout.field_sizes, values
+        ):
+            if value < 0 or value >> size:
+                raise ConfigurationError(
+                    f"field value does not fit in a {size}-bit V_i field"
+                )
+            flat |= value << offset
+        self._flat = flat
+        self._fields = list(values)
+
     def add(self, address: int) -> None:
         """Insert one address (at the configuration's granularity)."""
-        for index, chunk in enumerate(self.config.encode(address)):
-            self.fields[index] |= 1 << chunk
+        self._flat |= self.config.flat_mask(address)
+        self._fields = None
 
     def clear(self) -> None:
         """Gang-clear the register — this is how Bulk commits (Table 2)."""
-        for index in range(len(self.fields)):
-            self.fields[index] = 0
+        self._flat = 0
+        self._fields = None
 
     def is_empty(self) -> bool:
         """Emptiness test: true iff some V_i field is all-zero."""
-        return any(field == 0 for field in self.fields)
+        flat = self._flat
+        if flat == 0:
+            return True
+        for mask in self.config.layout.field_masks:
+            if not flat & mask:
+                return True
+        return False
 
     def __contains__(self, address: int) -> bool:
         """Membership test for one address (Table 1's element-of)."""
-        return all(
-            (self.fields[index] >> chunk) & 1
-            for index, chunk in enumerate(self.config.encode(address))
-        )
+        mask = self.config.flat_mask(address)
+        return self._flat & mask == mask
 
     def _check_compatible(self, other: "Signature") -> None:
+        if self.config is other.config:
+            return
         if self.config != other.config:
             raise ConfigurationError(
                 "cannot combine signatures with different configurations: "
@@ -85,54 +140,59 @@ class Signature:
             )
 
     def __and__(self, other: "Signature") -> "Signature":
-        """Signature intersection (per-field AND)."""
+        """Signature intersection (bitwise AND of the packed registers)."""
         self._check_compatible(other)
         result = Signature(self.config)
-        result.fields = [a & b for a, b in zip(self.fields, other.fields)]
+        result._flat = self._flat & other._flat
         return result
 
     def __or__(self, other: "Signature") -> "Signature":
-        """Signature union (per-field OR)."""
+        """Signature union (bitwise OR of the packed registers)."""
         self._check_compatible(other)
         result = Signature(self.config)
-        result.fields = [a | b for a, b in zip(self.fields, other.fields)]
+        result._flat = self._flat | other._flat
         return result
 
     def union_update(self, other: "Signature") -> None:
         """In-place union (used when flattening nested transactions)."""
         self._check_compatible(other)
-        for index, field in enumerate(other.fields):
-            self.fields[index] |= field
+        self._flat |= other._flat
+        self._fields = None
 
     def intersects(self, other: "Signature") -> bool:
         """True iff the intersection is non-empty.
 
-        This is the hot operation of bulk disambiguation; it avoids
-        allocating the intersection signature.
+        This is the hot operation of bulk disambiguation: one AND of the
+        packed registers, then a per-field emptiness scan of the result —
+        no intersection signature is allocated.
         """
         self._check_compatible(other)
-        return all(a & b for a, b in zip(self.fields, other.fields))
+        both = self._flat & other._flat
+        if both == 0:
+            return False
+        for mask in self.config.layout.field_masks:
+            if not both & mask:
+                return False
+        return True
 
     def copy(self) -> "Signature":
         """An independent copy of the register."""
         duplicate = Signature(self.config)
-        duplicate.fields = list(self.fields)
+        duplicate._flat = self._flat
         return duplicate
 
     def popcount(self) -> int:
         """Total number of set bits across all fields."""
-        return sum(popcount(field) for field in self.fields)
+        return popcount(self._flat)
 
     def to_flat_int(self) -> int:
         """The signature flattened to one integer, V_1 at the low end.
 
         This is the wire format: what RLE compression operates on and what
-        a commit broadcast carries.
+        a commit broadcast carries.  It is also the storage format, so
+        this is free.
         """
-        flat = 0
-        for offset, field in zip(self.config.layout.field_offsets, self.fields):
-            flat |= field << offset
-        return flat
+        return self._flat
 
     @classmethod
     def from_flat_int(cls, config: SignatureConfig, flat: int) -> "Signature":
@@ -142,16 +202,12 @@ class Signature:
                 f"flat value does not fit in a {config.size_bits}-bit signature"
             )
         signature = cls(config)
-        layout = config.layout
-        signature.fields = [
-            (flat >> offset) & ((1 << size) - 1)
-            for offset, size in zip(layout.field_offsets, layout.field_sizes)
-        ]
+        signature._flat = flat
         return signature
 
     def set_bit_positions(self) -> Iterator[int]:
         """Positions of set bits in the flattened wire format, ascending."""
-        return iter_set_bits(self.to_flat_int())
+        return iter_set_bits(self._flat)
 
     def field_values(self, index: int) -> Set[int]:
         """The exact set of chunk-``index`` values inserted so far.
@@ -159,15 +215,19 @@ class Signature:
         V_i is a one-hot-decoded accumulation, so its set bits *are* the
         chunk values — the property the exact delta decode relies on.
         """
-        return set(iter_set_bits(self.fields[index]))
+        layout = self.config.layout
+        field = (self._flat >> layout.field_offsets[index]) & (
+            (1 << layout.field_sizes[index]) - 1
+        )
+        return set(iter_set_bits(field))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Signature):
             return NotImplemented
-        return self.config == other.config and self.fields == other.fields
+        return self.config == other.config and self._flat == other._flat
 
     def __hash__(self) -> int:
-        return hash((self.config, tuple(self.fields)))
+        return hash((self.config, self._flat))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

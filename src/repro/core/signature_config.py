@@ -112,6 +112,11 @@ class SignatureConfig:
                 f"chunk layout address width {self.layout.address_bits} does "
                 f"not match granularity {self.granularity.value}"
             )
+        # Per-address encode memo (not a dataclass field: excluded from
+        # eq/hash/repr).  Configurations are shared across the many
+        # signatures of a simulation, so repeated insertions of the same
+        # address hit the memo instead of re-running permute + slice.
+        object.__setattr__(self, "_flat_mask_cache", {})
 
     @classmethod
     def make(
@@ -140,6 +145,22 @@ class SignatureConfig:
     def encode(self, address: int) -> Tuple[int, ...]:
         """Permute an address and return its chunk values (one per field)."""
         return self.layout.chunk_values(self.permutation.apply(address))
+
+    def flat_mask(self, address: int) -> int:
+        """The address's one-bit-per-field mask in the flattened signature.
+
+        Inserting an address ORs this mask in; membership ANDs against
+        it.  Memoised per configuration, since workloads revisit the same
+        addresses constantly.
+        """
+        cache = self._flat_mask_cache
+        mask = cache.get(address)
+        if mask is None:
+            mask = 0
+            for offset, chunk in zip(self.layout.field_offsets, self.encode(address)):
+                mask |= 1 << (offset + chunk)
+            cache[address] = mask
+        return mask
 
     def with_permutation(self, permutation: BitPermutation) -> "SignatureConfig":
         """The same configuration under a different bit permutation."""

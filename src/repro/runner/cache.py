@@ -1,0 +1,99 @@
+"""On-disk result cache for the parallel experiment runner.
+
+A cache entry is one JSON file per grid point, named by a SHA-256 key
+over
+
+* the point's canonical payload (kind, application, seed, knobs), and
+* a **code fingerprint** — a hash of every ``repro`` source file that can
+  affect simulation results.
+
+Editing any simulator source therefore invalidates every entry
+automatically (stale results can never be served), while re-running a
+sweep after an interrupted or partial run only recomputes what is
+missing.  The runner's own modules are excluded from the fingerprint:
+orchestration changes do not change simulation outcomes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from functools import lru_cache
+from typing import Any, Dict, Optional
+
+from repro.runner.serialize import canonical_json
+
+#: Bump to invalidate every existing cache entry (format changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Top-level ``repro`` subpackages whose sources are *excluded* from the
+#: code fingerprint — they orchestrate runs but cannot change results.
+_FINGERPRINT_EXCLUDED = ("runner",)
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every result-relevant ``repro`` source file."""
+    import repro
+
+    package_root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    digest.update(f"schema={CACHE_SCHEMA_VERSION}".encode())
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(package_root)
+        if relative.parts and relative.parts[0] in _FINGERPRINT_EXCLUDED:
+            continue
+        digest.update(str(relative).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """A directory of JSON result files, one per grid point."""
+
+    def __init__(self, directory: "str | os.PathLike[str]") -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def key_for(self, payload: Dict[str, Any]) -> str:
+        """The cache key of a grid-point payload under the current code."""
+        digest = hashlib.sha256()
+        digest.update(code_fingerprint().encode())
+        digest.update(b"\0")
+        digest.update(canonical_json(payload).encode())
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached result for a key, or ``None`` on a miss."""
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        return entry.get("result")
+
+    def put(self, key: str, payload: Dict[str, Any], result: Dict[str, Any]) -> None:
+        """Store one point's result (atomically, via rename)."""
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "point": payload,
+            "result": result,
+        }
+        path = self._path(key)
+        temporary = path.with_suffix(".tmp")
+        temporary.write_text(canonical_json(entry), encoding="utf-8")
+        os.replace(temporary, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,333 @@
+"""Parallel execution of experiment grids.
+
+The evaluation sweeps are embarrassingly parallel: every (application ×
+seed × knob) grid point is an independent, deterministic simulation.
+:class:`GridRunner` fans the points of a grid out over a
+:class:`concurrent.futures.ProcessPoolExecutor` and merges the results
+deterministically — the merged output is **byte-identical** for any
+worker count, because
+
+* each point's result is reduced to its canonical JSON form
+  (:mod:`repro.runner.serialize`) inside the worker, and
+* the merge orders points by their canonical keys, never by completion
+  order.
+
+Failures are retried per point; whatever still fails after the retry
+budget lands in the runner's :attr:`~GridRunner.failure_log` instead of
+poisoning the whole sweep.  With a cache directory configured
+(:mod:`repro.runner.cache`), finished points are persisted and re-running
+a sweep only recomputes points whose parameters or simulator code
+changed.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.runner.cache import ResultCache
+from repro.runner.serialize import (
+    canonical_json,
+    comparison_from_dict,
+    comparison_to_dict,
+)
+
+Knobs = Tuple[Tuple[str, Any], ...]
+
+
+class GridExecutionError(SimulationError):
+    """A grid point kept failing after exhausting its retry budget."""
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of an experiment grid.
+
+    ``knobs`` are the extra keyword arguments of the underlying
+    comparison driver (``txns_per_thread``, ``num_tasks``,
+    ``include_partial``, …), restricted to JSON-serialisable values so
+    the point can be hashed into a stable cache key.
+    """
+
+    kind: str  # "tm" or "tls"
+    app: str
+    seed: int = 42
+    knobs: Knobs = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tm", "tls"):
+            raise ValueError(f"unknown grid point kind {self.kind!r}")
+
+    @property
+    def key(self) -> str:
+        """Canonical identity of the point: kind, app, seed, knobs."""
+        knob_text = ",".join(f"{name}={value!r}" for name, value in self.knobs)
+        return f"{self.kind}:{self.app}:seed={self.seed}:{knob_text}"
+
+    def payload(self) -> Dict[str, Any]:
+        """The JSON payload workers execute and caches hash."""
+        return {
+            "kind": self.kind,
+            "app": self.app,
+            "seed": self.seed,
+            "knobs": dict(self.knobs),
+        }
+
+
+def tm_point(app: str, seed: int = 42, **knobs: Any) -> GridPoint:
+    """A TM grid point (extra knobs go to ``run_tm_comparison``)."""
+    return GridPoint("tm", app, seed, tuple(sorted(knobs.items())))
+
+
+def tls_point(app: str, seed: int = 42, **knobs: Any) -> GridPoint:
+    """A TLS grid point (extra knobs go to ``run_tls_comparison``)."""
+    return GridPoint("tls", app, seed, tuple(sorted(knobs.items())))
+
+
+def _execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one grid point and reduce it to its canonical result dict.
+
+    Module-level so it pickles into pool workers; imports the drivers
+    lazily to keep worker start-up importing only what it runs.
+    """
+    from repro.analysis.experiments import run_tls_comparison, run_tm_comparison
+
+    knobs = dict(payload["knobs"])
+    if payload["kind"] == "tm":
+        comparison = run_tm_comparison(payload["app"], seed=payload["seed"], **knobs)
+    else:
+        comparison = run_tls_comparison(payload["app"], seed=payload["seed"], **knobs)
+    return comparison_to_dict(comparison)
+
+
+@dataclass
+class FailureRecord:
+    """One failed execution attempt of one grid point."""
+
+    key: str
+    attempt: int
+    error: str
+    traceback: str
+
+
+@dataclass
+class GridResult:
+    """The deterministic merge of one grid execution."""
+
+    #: Canonical point key -> canonical result dictionary, in key order.
+    results: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Keys that were served from the on-disk cache.
+    cached_keys: List[str] = field(default_factory=list)
+    #: Every failed attempt (including ones whose point later succeeded).
+    failures: List[FailureRecord] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        """The merged results as canonical JSON (byte-identical for any
+        worker count)."""
+        return canonical_json(self.results)
+
+    def comparison(self, point: GridPoint) -> Any:
+        """The reconstructed comparison object of one point."""
+        return comparison_from_dict(self.results[point.key])
+
+    def comparisons(self) -> Dict[str, Any]:
+        """Every result reconstructed, keyed by point key."""
+        return {
+            key: comparison_from_dict(data) for key, data in self.results.items()
+        }
+
+
+def default_jobs() -> int:
+    """Auto-detected worker count: one per available CPU."""
+    return os.cpu_count() or 1
+
+
+class GridRunner:
+    """Executes experiment grids, serially or across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``None`` auto-detects (:func:`default_jobs`);
+        ``1`` runs in-process with no pool at all.
+    retries:
+        How many times one point is *re*-tried after a failure (so each
+        point runs at most ``retries + 1`` times).
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        retries: int = 1,
+        cache_dir: "Optional[str | os.PathLike[str]]" = None,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = default_jobs() if jobs is None else jobs
+        self.retries = retries
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.failure_log: List[FailureRecord] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(
+        self, points: Iterable[GridPoint], allow_failures: bool = False
+    ) -> GridResult:
+        """Execute every point and return the deterministic merge.
+
+        Raises :class:`GridExecutionError` if any point exhausts its
+        retry budget, unless ``allow_failures`` is set — then failed
+        points are simply absent from the results and recorded in the
+        failure log.
+        """
+        ordered = sorted(set(points), key=lambda point: point.key)
+        if len(ordered) != len({point.key for point in ordered}):
+            raise ValueError("grid contains points with duplicate keys")
+
+        result = GridResult()
+        computed: Dict[str, Dict[str, Any]] = {}
+        pending: List[GridPoint] = []
+        for point in ordered:
+            cached = self._cache_lookup(point)
+            if cached is not None:
+                computed[point.key] = cached
+                result.cached_keys.append(point.key)
+            else:
+                pending.append(point)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                executed = self._run_pool(pending, result.failures)
+            else:
+                executed = self._run_serial(pending, result.failures)
+            for point in pending:
+                if point.key in executed:
+                    self._cache_store(point, executed[point.key])
+                    computed[point.key] = executed[point.key]
+
+        self.failure_log.extend(result.failures)
+        self._persist_failures(result.failures)
+        dead = [point.key for point in ordered if point.key not in computed]
+        if dead and not allow_failures:
+            raise GridExecutionError(
+                f"{len(dead)} grid point(s) failed after "
+                f"{self.retries + 1} attempt(s): {', '.join(dead)}"
+            )
+        result.results = {key: computed[key] for key in sorted(computed)}
+        return result
+
+    def run_comparisons(self, points: Sequence[GridPoint]) -> Dict[str, Any]:
+        """Run and reconstruct: point key -> comparison object."""
+        return self.run(points).comparisons()
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self, points: Sequence[GridPoint], failures: List[FailureRecord]
+    ) -> Dict[str, Dict[str, Any]]:
+        executed: Dict[str, Dict[str, Any]] = {}
+        for point in points:
+            for attempt in range(1, self.retries + 2):
+                try:
+                    executed[point.key] = _execute_point(point.payload())
+                    break
+                except Exception as error:  # noqa: BLE001 - logged + re-raised
+                    failures.append(
+                        FailureRecord(
+                            key=point.key,
+                            attempt=attempt,
+                            error=f"{type(error).__name__}: {error}",
+                            traceback=traceback.format_exc(),
+                        )
+                    )
+        return executed
+
+    def _run_pool(
+        self, points: Sequence[GridPoint], failures: List[FailureRecord]
+    ) -> Dict[str, Dict[str, Any]]:
+        executed: Dict[str, Dict[str, Any]] = {}
+        workers = min(self.jobs, len(points))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            attempts = {point.key: 1 for point in points}
+            by_key = {point.key: point for point in points}
+            futures = {
+                pool.submit(_execute_point, point.payload()): point.key
+                for point in points
+            }
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = futures.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        executed[key] = future.result()
+                        continue
+                    attempt = attempts[key]
+                    failures.append(
+                        FailureRecord(
+                            key=key,
+                            attempt=attempt,
+                            error=f"{type(error).__name__}: {error}",
+                            traceback="".join(
+                                traceback.format_exception(
+                                    type(error), error, error.__traceback__
+                                )
+                            ),
+                        )
+                    )
+                    if attempt <= self.retries:
+                        attempts[key] = attempt + 1
+                        retry = pool.submit(
+                            _execute_point, by_key[key].payload()
+                        )
+                        futures[retry] = key
+        return executed
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def _cache_lookup(self, point: GridPoint) -> Optional[Dict[str, Any]]:
+        if self.cache is None:
+            return None
+        return self.cache.get(self.cache.key_for(point.payload()))
+
+    def _cache_store(self, point: GridPoint, result: Dict[str, Any]) -> None:
+        if self.cache is None:
+            return
+        self.cache.put(self.cache.key_for(point.payload()), point.payload(), result)
+
+    def _persist_failures(self, failures: List[FailureRecord]) -> None:
+        if self.cache is None or not failures:
+            return
+        import json
+
+        path = self.cache.directory / "failures.json"
+        existing: List[Dict[str, str]] = []
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                existing = []
+        existing.extend(
+            {
+                "key": record.key,
+                "attempt": record.attempt,
+                "error": record.error,
+                "traceback": record.traceback,
+            }
+            for record in failures
+        )
+        path.write_text(json.dumps(existing, indent=2), encoding="utf-8")

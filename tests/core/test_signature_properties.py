@@ -1,0 +1,146 @@
+"""Hypothesis property tests pinning the signature algebra of Table 1.
+
+Every property is checked along **both representations**:
+
+* the *flat path* — the packed-integer storage the public operations run
+  on (``to_flat_int``, single-int AND/OR), and
+* the *list path* — per-field reference implementations written against
+  the lazily rebuilt :attr:`Signature.fields` lists, replicating the
+  original per-field semantics bit for bit.
+
+The two must always agree; the catalogue-wide tests sweep every Table 8
+configuration so no chunk layout escapes coverage.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signature import Signature
+from repro.core.signature_config import TABLE8_CONFIGS
+
+CONFIGS = list(TABLE8_CONFIGS.values())
+ADDRESS_BITS = 26  # Table 8 configurations encode line addresses.
+
+addresses = st.integers(min_value=0, max_value=(1 << ADDRESS_BITS) - 1)
+address_sets = st.lists(addresses, max_size=32)
+configs = st.sampled_from(CONFIGS)
+
+
+# ----------------------------------------------------------------------
+# List-path reference implementations (the original per-field semantics)
+# ----------------------------------------------------------------------
+
+def list_intersects(a: Signature, b: Signature) -> bool:
+    return all(x & y for x, y in zip(a.fields, b.fields))
+
+
+def list_is_empty(a: Signature) -> bool:
+    return any(field == 0 for field in a.fields)
+
+
+def list_contains(a: Signature, address: int) -> bool:
+    return all(
+        (a.fields[index] >> chunk) & 1
+        for index, chunk in enumerate(a.config.encode(address))
+    )
+
+
+def list_flat(a: Signature) -> int:
+    flat = 0
+    for offset, field in zip(a.config.layout.field_offsets, a.fields):
+        flat |= field << offset
+    return flat
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(configs, address_sets, address_sets)
+def test_union_is_homomorphic(config, set_a, set_b):
+    """H(A ∪ B) == H(A) | H(B), on both representations."""
+    h_a = Signature.from_addresses(config, set_a)
+    h_b = Signature.from_addresses(config, set_b)
+    h_union = Signature.from_addresses(config, set_a + set_b)
+    joined = h_a | h_b
+    assert joined == h_union
+    assert joined.fields == h_union.fields
+    in_place = h_a.copy()
+    in_place.union_update(h_b)
+    assert in_place == h_union
+
+
+@settings(max_examples=40, deadline=None)
+@given(configs, address_sets)
+def test_membership_after_add_always_holds(config, address_set):
+    """No false negatives: every inserted address is a member forever."""
+    signature = Signature(config)
+    for address in address_set:
+        signature.add(address)
+    for address in address_set:
+        assert address in signature
+        assert list_contains(signature, address)
+
+
+@settings(max_examples=40, deadline=None)
+@given(configs, address_sets, address_sets)
+def test_intersects_agrees_with_intersection_emptiness(config, set_a, set_b):
+    """intersects == not (A & B).is_empty(), and both paths agree."""
+    h_a = Signature.from_addresses(config, set_a)
+    h_b = Signature.from_addresses(config, set_b)
+    fast = h_a.intersects(h_b)
+    assert fast == (not (h_a & h_b).is_empty())
+    assert fast == list_intersects(h_a, h_b)
+    assert (h_a & h_b).is_empty() == list_is_empty(h_a & h_b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(configs, address_sets)
+def test_flat_int_round_trip(config, address_set):
+    """from_flat_int(to_flat_int(s)) == s, and matches the list packing."""
+    signature = Signature.from_addresses(config, address_set)
+    flat = signature.to_flat_int()
+    assert flat == list_flat(signature)
+    rebuilt = Signature.from_flat_int(config, flat)
+    assert rebuilt == signature
+    assert rebuilt.fields == signature.fields
+
+
+@settings(max_examples=40, deadline=None)
+@given(configs, address_sets)
+def test_exact_intersection_implies_signature_intersection(
+    config, address_set
+):
+    """Superset semantics: shared addresses force an intersection."""
+    if not address_set:
+        return
+    h_a = Signature.from_addresses(config, address_set)
+    h_b = Signature.from_addresses(config, [address_set[0]])
+    assert h_a.intersects(h_b)
+
+
+# ----------------------------------------------------------------------
+# Catalogue sweep: every Table 8 configuration, deterministically
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(TABLE8_CONFIGS))
+def test_catalogue_round_trip_and_path_agreement(name):
+    config = TABLE8_CONFIGS[name]
+    rng = random.Random(hash(name) & 0xFFFF)
+    address_set = [rng.randrange(1 << ADDRESS_BITS) for _ in range(48)]
+    signature = Signature.from_addresses(config, address_set)
+    other = Signature.from_addresses(config, address_set[:8])
+
+    assert Signature.from_flat_int(config, signature.to_flat_int()) == signature
+    assert signature.to_flat_int() == list_flat(signature)
+    assert signature.intersects(other) == list_intersects(signature, other)
+    assert signature.is_empty() == list_is_empty(signature)
+    for address in address_set:
+        assert (address in signature) == list_contains(signature, address)
+    assert signature.popcount() == sum(
+        bin(field).count("1") for field in signature.fields
+    )

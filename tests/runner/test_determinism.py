@@ -1,0 +1,68 @@
+"""Determinism contract of the parallel runner.
+
+* A grid executed with ``jobs=1`` and ``jobs=4`` must merge to
+  **byte-identical** results.
+* A fully cache-hit re-run must return identical results without
+  executing a single scheme.
+"""
+
+import pytest
+
+import repro.runner.grid as grid_module
+from repro.runner import GridRunner, tls_point, tm_point
+
+GRID = [
+    tm_point("mc", seed=11, txns_per_thread=3),
+    tm_point("cb", seed=11, txns_per_thread=3),
+    tls_point("gzip", seed=11, num_tasks=30),
+    tls_point("mcf", seed=11, num_tasks=30),
+]
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return GridRunner(jobs=1).run(GRID)
+
+
+class TestWorkerCountIndependence:
+    def test_jobs4_merge_is_byte_identical_to_serial(self, serial_result):
+        parallel_result = GridRunner(jobs=4).run(GRID)
+        assert parallel_result.to_json() == serial_result.to_json()
+
+    def test_point_order_is_canonical(self, serial_result):
+        shuffled = GridRunner(jobs=1).run(list(reversed(GRID)))
+        assert shuffled.to_json() == serial_result.to_json()
+        assert list(shuffled.results) == sorted(shuffled.results)
+
+    def test_jobs2_matches_too(self, serial_result):
+        assert GridRunner(jobs=2).run(GRID).to_json() == serial_result.to_json()
+
+
+class TestCacheHitReuse:
+    def test_cache_hit_rerun_invokes_no_scheme(
+        self, tmp_path, serial_result, monkeypatch
+    ):
+        cache_dir = tmp_path / "grid-cache"
+        warm = GridRunner(jobs=1, cache_dir=cache_dir).run(GRID)
+        assert warm.cached_keys == []
+        assert warm.to_json() == serial_result.to_json()
+
+        # Any attempt to actually execute a point must now blow up —
+        # every result has to come from the cache.
+        def forbidden(payload):
+            raise AssertionError(
+                f"cache-hit re-run executed a grid point: {payload}"
+            )
+
+        monkeypatch.setattr(grid_module, "_execute_point", forbidden)
+        cold = GridRunner(jobs=1, cache_dir=cache_dir).run(GRID)
+        assert sorted(cold.cached_keys) == sorted(p.key for p in GRID)
+        assert cold.to_json() == serial_result.to_json()
+
+    def test_cache_key_depends_on_parameters(self, tmp_path):
+        cache_dir = tmp_path / "grid-cache"
+        runner = GridRunner(jobs=1, cache_dir=cache_dir)
+        runner.run([tm_point("mc", seed=11, txns_per_thread=2)])
+        # A different seed is a different point: no stale reuse.
+        second = runner.run([tm_point("mc", seed=12, txns_per_thread=2)])
+        assert second.cached_keys == []

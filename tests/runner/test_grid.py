@@ -1,0 +1,160 @@
+"""Unit tests for grid points, retry/failure handling, and the cache."""
+
+import json
+
+import pytest
+
+import repro.runner.grid as grid_module
+from repro.analysis.experiments import run_tls_comparison, run_tm_comparison
+from repro.runner import (
+    GridExecutionError,
+    GridRunner,
+    ResultCache,
+    code_fingerprint,
+    comparison_from_dict,
+    comparison_to_dict,
+    tls_point,
+    tm_point,
+)
+
+
+class TestGridPoint:
+    def test_key_is_canonical_and_knob_order_independent(self):
+        a = tm_point("mc", seed=7, txns_per_thread=3, include_partial=True)
+        b = tm_point("mc", seed=7, include_partial=True, txns_per_thread=3)
+        assert a == b
+        assert a.key == b.key
+
+    def test_kind_is_validated(self):
+        with pytest.raises(ValueError):
+            grid_module.GridPoint("bogus", "mc")
+
+    def test_duplicate_points_are_merged(self):
+        result = GridRunner(jobs=1).run(
+            [tm_point("mc", txns_per_thread=2), tm_point("mc", txns_per_thread=2)]
+        )
+        assert len(result.results) == 1
+
+
+class TestSerializationRoundTrip:
+    def test_tm_comparison_round_trip(self):
+        comparison = run_tm_comparison(
+            "mc", txns_per_thread=3, seed=5, include_partial=True,
+            collect_samples=True,
+        )
+        rebuilt = comparison_from_dict(comparison_to_dict(comparison))
+        assert rebuilt.app == comparison.app
+        assert rebuilt.cycles == comparison.cycles
+        assert rebuilt.samples == comparison.samples
+        for scheme, stats in comparison.stats.items():
+            other = rebuilt.stats[scheme]
+            assert other.committed_transactions == stats.committed_transactions
+            assert other.squashes_by_processor == stats.squashes_by_processor
+            assert other.bandwidth.total_bytes == stats.bandwidth.total_bytes
+            assert other.bandwidth.commit_bytes == stats.bandwidth.commit_bytes
+        assert rebuilt.speedup_over_eager("Bulk") == (
+            comparison.speedup_over_eager("Bulk")
+        )
+        assert rebuilt.commit_bandwidth_vs_lazy() == (
+            comparison.commit_bandwidth_vs_lazy()
+        )
+
+    def test_tls_comparison_round_trip(self):
+        comparison = run_tls_comparison("gzip", num_tasks=30, seed=5)
+        rebuilt = comparison_from_dict(comparison_to_dict(comparison))
+        assert rebuilt.sequential_cycles == comparison.sequential_cycles
+        assert rebuilt.cycles == comparison.cycles
+        for scheme in comparison.stats:
+            assert rebuilt.speedup(scheme) == comparison.speedup(scheme)
+
+
+class TestRetryAndFailureLog:
+    def test_flaky_point_is_retried_and_succeeds(self, monkeypatch, tmp_path):
+        real = grid_module._execute_point
+        calls = {"count": 0}
+
+        def flaky(payload):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("transient failure")
+            return real(payload)
+
+        monkeypatch.setattr(grid_module, "_execute_point", flaky)
+        runner = GridRunner(jobs=1, retries=1, cache_dir=tmp_path)
+        result = runner.run([tm_point("mc", txns_per_thread=2)])
+        assert len(result.results) == 1
+        assert [record.attempt for record in result.failures] == [1]
+        assert "transient failure" in result.failures[0].error
+        # The failure log is persisted next to the cache.
+        persisted = json.loads((tmp_path / "failures.json").read_text())
+        assert persisted[0]["key"] == tm_point("mc", txns_per_thread=2).key
+
+    def test_permanent_failure_raises_after_budget(self, monkeypatch):
+        def broken(payload):
+            raise RuntimeError("always broken")
+
+        monkeypatch.setattr(grid_module, "_execute_point", broken)
+        runner = GridRunner(jobs=1, retries=2)
+        with pytest.raises(GridExecutionError):
+            runner.run([tm_point("mc", txns_per_thread=2)])
+        assert len(runner.failure_log) == 3  # 1 attempt + 2 retries
+
+    def test_allow_failures_keeps_the_healthy_points(self, monkeypatch):
+        real = grid_module._execute_point
+
+        def selective(payload):
+            if payload["app"] == "mc":
+                raise RuntimeError("mc is broken")
+            return real(payload)
+
+        monkeypatch.setattr(grid_module, "_execute_point", selective)
+        runner = GridRunner(jobs=1, retries=0)
+        result = runner.run(
+            [tm_point("mc", txns_per_thread=2), tm_point("cb", txns_per_thread=2)],
+            allow_failures=True,
+        )
+        assert list(result.results) == [tm_point("cb", txns_per_thread=2).key]
+        assert result.failures[0].key == tm_point("mc", txns_per_thread=2).key
+
+    def test_pool_path_retries_too(self):
+        # A bad knob makes the worker raise inside the pool; the runner
+        # must retry it (attempts recorded) and finally report failure.
+        runner = GridRunner(jobs=2, retries=1)
+        points = [
+            tm_point("mc", txns_per_thread=2),
+            tm_point("no-such-app", txns_per_thread=2),
+        ]
+        result = runner.run(points, allow_failures=True)
+        assert list(result.results) == [tm_point("mc", txns_per_thread=2).key]
+        bad_key = tm_point("no-such-app", txns_per_thread=2).key
+        assert [r.attempt for r in result.failures if r.key == bad_key] == [1, 2]
+
+
+class TestResultCache:
+    def test_fingerprint_is_stable_within_a_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_corrupt_entries_are_treated_as_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {"kind": "tm", "app": "mc", "seed": 1, "knobs": {}}
+        key = cache.key_for(payload)
+        cache.put(key, payload, {"answer": 42})
+        assert cache.get(key) == {"answer": 42}
+        (tmp_path / f"{key}.json").write_text("not json at all")
+        assert cache.get(key) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {"kind": "tm", "app": "mc", "seed": 1, "knobs": {}}
+        key = cache.key_for(payload)
+        cache.put(key, payload, {"answer": 42})
+        entry = json.loads((tmp_path / f"{key}.json").read_text())
+        entry["schema"] = -1
+        (tmp_path / f"{key}.json").write_text(json.dumps(entry))
+        assert cache.get(key) is None
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            GridRunner(jobs=0)
+        with pytest.raises(ValueError):
+            GridRunner(retries=-1)

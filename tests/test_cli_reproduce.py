@@ -30,3 +30,23 @@ def test_reproduce_archives_every_experiment(tmp_path):
         rows = list(csv.reader(handle))
     assert rows[0] == ["App", "Eager", "Lazy", "Bulk", "BulkNoOverlap"]
     assert len(rows) == 10  # header + nine applications
+
+
+def test_reproduce_runs_parallel_and_reuses_cache(tmp_path, capsys):
+    out = tmp_path / "results"
+    argv = [
+        "reproduce", "--out", str(out),
+        "--tm-txns", "2", "--tls-tasks", "12", "--samples", "10",
+        "--seed", "5", "--jobs", "2",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    # The sweep's grid points were cached under <out>/.cache; a re-run
+    # serves every point from the cache.
+    assert any((out / ".cache").glob("*.json"))
+    assert main(argv) == 0
+    assert "grid point(s) served from cache" in capsys.readouterr().out
+
+    fig11_first = (out / "fig11.csv").read_text()
+    assert main([*argv, "--no-cache"]) == 0
+    assert (out / "fig11.csv").read_text() == fig11_first
