@@ -7,22 +7,40 @@ bandwidth as a percentage of Lazy's.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.coherence.bus import BandwidthBreakdown
 from repro.coherence.message import BandwidthCategory
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import EventTracer
+
 
 def normalized_breakdown(
-    breakdown: BandwidthBreakdown, baseline_total_bytes: int
-) -> Dict[str, float]:
+    breakdown: BandwidthBreakdown,
+    baseline_total_bytes: int,
+    tracer: "Optional[EventTracer]" = None,
+    label: str = "",
+) -> Optional[Dict[str, float]]:
     """Per-category percentages of a baseline scheme's total bytes.
 
     Returns a mapping ``{"Inv": ..., "Coh": ..., "UB": ..., "WB": ...,
     "Fill": ..., "Total": ...}`` in percent of ``baseline_total_bytes``.
+
+    A degenerate baseline (zero total bytes — e.g. a workload so small
+    the baseline scheme never touched the bus) cannot be normalised
+    against; the row is skipped by returning ``None``, with a ``warning``
+    event on ``tracer`` when one is supplied, instead of aborting the
+    whole report.
     """
     if baseline_total_bytes <= 0:
-        raise ValueError("baseline total must be positive")
+        if tracer is not None:
+            tracer.warn(
+                "zero baseline bandwidth; skipping normalised breakdown",
+                label=label,
+                baseline_total_bytes=baseline_total_bytes,
+            )
+        return None
     result = {
         category.value: 100.0
         * breakdown.category_bytes(category)
@@ -36,7 +54,12 @@ def normalized_breakdown(
 def commit_bandwidth_ratio(
     bulk: BandwidthBreakdown, lazy: BandwidthBreakdown
 ) -> float:
-    """Bulk commit bytes as a percentage of Lazy commit bytes (Fig. 14)."""
+    """Bulk commit bytes as a percentage of Lazy commit bytes (Fig. 14).
+
+    When Lazy moved no commit bytes the ratio is undefined — reported as
+    ``nan`` (rendered ``n/a``), not ``0.0``, which would wrongly read as
+    "Bulk commits for free".
+    """
     if lazy.commit_bytes <= 0:
-        return 0.0
+        return float("nan")
     return 100.0 * bulk.commit_bytes / lazy.commit_bytes

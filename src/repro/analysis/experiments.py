@@ -8,9 +8,12 @@ measurements that feed the corresponding table or figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.analysis.bandwidth import commit_bandwidth_ratio, normalized_breakdown
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
 from repro.tls.bulk import TlsBulkScheme
 from repro.tls.eager import TlsEagerScheme
 from repro.tls.lazy import TlsLazyScheme
@@ -56,11 +59,19 @@ class TmComparison:
         """Figure 11's metric."""
         return self.cycles["Eager"] / self.cycles[scheme]
 
-    def bandwidth_vs_eager(self, scheme: str) -> Dict[str, float]:
-        """Figure 13's metric: category percentages of Eager's total."""
+    def bandwidth_vs_eager(
+        self, scheme: str, tracer: "Optional[object]" = None
+    ) -> Optional[Dict[str, float]]:
+        """Figure 13's metric: category percentages of Eager's total.
+
+        ``None`` when the Eager baseline moved no bytes (degenerate
+        workload) — callers skip the row rather than crash.
+        """
         return normalized_breakdown(
             self.stats[scheme].bandwidth,
             self.stats["Eager"].bandwidth.total_bytes,
+            tracer=tracer,
+            label=f"{self.app}/{scheme}",
         )
 
     def commit_bandwidth_vs_lazy(self) -> float:
@@ -77,12 +88,17 @@ def run_tm_comparison(
     params: TmParams = TM_DEFAULTS,
     include_partial: bool = False,
     collect_samples: bool = False,
+    obs: "Optional[Observability]" = None,
 ) -> TmComparison:
     """Run one TM application under every scheme.
 
     ``include_partial`` additionally runs Bulk with closed-nesting
     partial rollback enabled (the Bulk-Partial bar of Figure 11); it only
     differs from plain Bulk when the workload nests transactions.
+
+    ``obs`` (optional) instruments every per-scheme run with the shared
+    metrics registry and event tracer; each run stamps its own
+    ``scheme=...`` context so the merged stream stays attributable.
     """
     comparison = TmComparison(app=app)
     schemes = [("Eager", EagerScheme()), ("Lazy", LazyScheme()), ("Bulk", BulkScheme())]
@@ -98,6 +114,7 @@ def run_tm_comparison(
             scheme,
             params,
             collect_samples=collect_samples,
+            obs=obs,
         )
         result = system.run()
         comparison.cycles[name] = result.cycles
@@ -114,7 +131,11 @@ def run_tm_comparison(
             txns_per_thread=txns_per_thread,
             seed=seed,
         )
-        result = TmSystem(traces, BulkScheme(), partial_params).run()
+        partial_scheme = BulkScheme()
+        # Distinct label so traced bus traffic reconciles against the
+        # "Bulk-Partial" breakdown instead of folding into plain Bulk's.
+        partial_scheme.name = "Bulk-Partial"
+        result = TmSystem(traces, partial_scheme, partial_params, obs=obs).run()
         comparison.cycles["Bulk-Partial"] = result.cycles
         comparison.stats["Bulk-Partial"] = result.stats
     return comparison
@@ -141,6 +162,7 @@ def run_tls_comparison(
     seed: int = 42,
     params: TlsParams = TLS_DEFAULTS,
     schemes: Optional[List[str]] = None,
+    obs: "Optional[Observability]" = None,
 ) -> TlsComparison:
     """Run one TLS application under Eager / Lazy / Bulk / BulkNoOverlap."""
     if schemes is None:
@@ -156,7 +178,7 @@ def run_tls_comparison(
     comparison.sequential_cycles = simulate_sequential(tasks, params)
     for name in schemes:
         tasks = build_tls_workload(app, num_tasks=num_tasks, seed=seed)
-        result = TlsSystem(tasks, factories[name](), params).run()
+        result = TlsSystem(tasks, factories[name](), params, obs=obs).run()
         result.stats.sequential_cycles = comparison.sequential_cycles
         comparison.cycles[name] = result.cycles
         comparison.stats[name] = result.stats

@@ -7,13 +7,16 @@ readable in a terminal or a CI log.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Union
+import math
+from typing import Any, Dict, List, Sequence, Union
 
 Number = Union[int, float]
 
 
 def _format_cell(value: object) -> str:
     if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
         return f"{value:.2f}"
     return str(value)
 
@@ -65,21 +68,95 @@ def render_csv(
     return "\n".join(lines)
 
 
+def bandwidth_reconciliation_rows(
+    trace_bus: Dict[str, Dict[str, Any]],
+    breakdowns: Dict[str, Any],
+) -> List[List[object]]:
+    """Cross-check traced bus traffic against the simulator's accounting.
+
+    ``trace_bus`` is the ``"bus"`` member of an
+    :meth:`repro.obs.tracer.EventTracer.summary` — per scheme, the bytes
+    each ``bus.msg`` event carried, summed by category — and
+    ``breakdowns`` maps the same scheme names to their
+    :class:`~repro.coherence.bus.BandwidthBreakdown`.  Both are fed from
+    the same statement in :meth:`~repro.coherence.bus.Bus.record`, so
+    the totals must agree **exactly**; any ``MISMATCH`` row means bytes
+    were accounted outside the instrumented path.
+    """
+    rows: List[List[object]] = []
+    for scheme in sorted(set(trace_bus) | set(breakdowns)):
+        traced = trace_bus.get(scheme, {})
+        traced_total = sum(traced.get("bytes", {}).values())
+        traced_commit = traced.get("commit_bytes", 0)
+        breakdown = breakdowns.get(scheme)
+        sim_total = breakdown.total_bytes if breakdown is not None else 0
+        sim_commit = breakdown.commit_bytes if breakdown is not None else 0
+        ok = traced_total == sim_total and traced_commit == sim_commit
+        rows.append(
+            [
+                scheme,
+                traced_total,
+                sim_total,
+                traced_commit,
+                sim_commit,
+                "OK" if ok else "MISMATCH",
+            ]
+        )
+    return rows
+
+
+RECONCILIATION_HEADERS = [
+    "scheme",
+    "traced bytes",
+    "sim bytes",
+    "traced commit",
+    "sim commit",
+    "status",
+]
+
+
+def render_bandwidth_reconciliation(
+    trace_bus: Dict[str, Dict[str, Any]],
+    breakdowns: Dict[str, Any],
+    title: str = "Trace vs. BandwidthBreakdown reconciliation",
+) -> str:
+    """The reconciliation rows as an ASCII table."""
+    return render_table(
+        RECONCILIATION_HEADERS,
+        bandwidth_reconciliation_rows(trace_bus, breakdowns),
+        title=title,
+    )
+
+
+def reconciliation_ok(rows: Sequence[Sequence[object]]) -> bool:
+    """Whether every reconciliation row agreed exactly."""
+    return all(row[-1] == "OK" for row in rows)
+
+
 def render_bars(
     series: Dict[str, Number],
     width: int = 50,
     title: str = "",
     unit: str = "",
 ) -> str:
-    """A horizontal ASCII bar chart (one bar per key)."""
+    """A horizontal ASCII bar chart (one bar per key).
+
+    ``nan`` values (undefined metrics, e.g. a ratio over a zero
+    baseline) render as ``n/a`` with no bar and are excluded from the
+    peak used to scale the others.
+    """
     if not series:
         return title
-    peak = max(abs(float(v)) for v in series.values()) or 1.0
+    finite = [abs(float(v)) for v in series.values() if not math.isnan(float(v))]
+    peak = (max(finite) if finite else 0.0) or 1.0
     label_width = max(len(label) for label in series)
     lines: List[str] = []
     if title:
         lines.append(title)
     for label, value in series.items():
+        if math.isnan(float(value)):
+            lines.append(f"{label.ljust(label_width)} | n/a")
+            continue
         bar = "#" * max(1, int(round(width * abs(float(value)) / peak)))
         lines.append(
             f"{label.ljust(label_width)} | {bar} {float(value):.2f}{unit}"

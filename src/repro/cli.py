@@ -16,18 +16,80 @@ regenerates; the CLI is a thin, scriptable wrapper over
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional, Tuple
 
 from repro.analysis.accuracy import collect_tm_samples, sweep_signature_configs
 from repro.analysis.experiments import run_tls_comparison, run_tm_comparison
-from repro.analysis.report import render_bars, render_csv, render_table
+from repro.analysis.report import (
+    bandwidth_reconciliation_rows,
+    reconciliation_ok,
+    render_bandwidth_reconciliation,
+    render_bars,
+    render_csv,
+    render_table,
+)
 from repro.core.signature_config import TABLE8_CONFIGS
 from repro.workloads.kernels import TM_KERNELS
 from repro.workloads.tls_spec import TLS_APPLICATIONS
 
 TM_SCHEMES = ["Eager", "Lazy", "Bulk"]
 TLS_SCHEMES = ["Eager", "Lazy", "Bulk", "BulkNoOverlap"]
+
+
+def _open_observability(args: argparse.Namespace) -> Tuple[Any, Any]:
+    """An :class:`~repro.obs.Observability` bundle for ``--trace-out`` /
+    ``--metrics-out``, or ``(None, None)`` when neither flag was given.
+
+    The second member is the owned :class:`~repro.obs.tracer.JsonlWriter`
+    (or ``None``); the caller closes it via :func:`_finish_observability`.
+    """
+    if not getattr(args, "trace_out", None) and not getattr(args, "metrics_out", None):
+        return None, None
+    from repro.obs import Observability
+    from repro.obs.tracer import JsonlWriter
+
+    writer = JsonlWriter.open(args.trace_out) if args.trace_out else None
+    obs = Observability()
+    if writer is not None:
+        obs.tracer.sink = writer.write
+    return obs, writer
+
+
+def _finish_observability(
+    args: argparse.Namespace, obs: Any, writer: Any, stats_by_scheme: Any
+) -> int:
+    """Flush observability outputs after a single-run subcommand.
+
+    Writes the metrics snapshot, closes the trace writer, and prints the
+    trace-vs-:class:`~repro.coherence.bus.BandwidthBreakdown`
+    reconciliation; a mismatch is an internal accounting bug and turns
+    into a non-zero exit code.
+    """
+    if writer is not None:
+        writer.close()
+        print(f"wrote {writer.lines} trace events to {args.trace_out}")
+    if args.metrics_out:
+        snapshot = obs.metrics.snapshot()
+        with open(args.metrics_out, "w", encoding="utf-8") as stream:
+            json.dump(snapshot, stream, sort_keys=True, indent=2)
+            stream.write("\n")
+        print(f"wrote metrics to {args.metrics_out}")
+    breakdowns = {
+        scheme: stats.bandwidth for scheme, stats in stats_by_scheme.items()
+    }
+    trace_bus = obs.tracer.summary()["bus"]
+    print()
+    print(render_bandwidth_reconciliation(trace_bus, breakdowns))
+    if not reconciliation_ok(
+        bandwidth_reconciliation_rows(trace_bus, breakdowns)
+    ):
+        print("error: traced bytes do not reconcile with the simulator's "
+              "bandwidth accounting", file=sys.stderr)
+        return 3
+    return 0
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -38,11 +100,13 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_tm(args: argparse.Namespace) -> int:
+    obs, writer = _open_observability(args)
     comparison = run_tm_comparison(
         args.app,
         txns_per_thread=args.txns,
         seed=args.seed,
         include_partial=args.partial,
+        obs=obs,
     )
     schemes = TM_SCHEMES + (["Bulk-Partial"] if args.partial else [])
     rows = []
@@ -67,14 +131,18 @@ def _cmd_tm(args: argparse.Namespace) -> int:
             title=f"TM: {args.app}",
         )
     )
-    print(f"\ncommit bandwidth Bulk/Lazy: "
-          f"{comparison.commit_bandwidth_vs_lazy():.1f}%")
+    ratio = comparison.commit_bandwidth_vs_lazy()
+    print("\ncommit bandwidth Bulk/Lazy: "
+          + ("n/a" if math.isnan(ratio) else f"{ratio:.1f}%"))
+    if obs is not None:
+        return _finish_observability(args, obs, writer, comparison.stats)
     return 0
 
 
 def _cmd_tls(args: argparse.Namespace) -> int:
+    obs, writer = _open_observability(args)
     comparison = run_tls_comparison(
-        args.app, num_tasks=args.tasks, seed=args.seed
+        args.app, num_tasks=args.tasks, seed=args.seed, obs=obs
     )
     rows = []
     for scheme in TLS_SCHEMES:
@@ -99,6 +167,8 @@ def _cmd_tls(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if obs is not None:
+        return _finish_observability(args, obs, writer, comparison.stats)
     return 0
 
 
@@ -153,8 +223,11 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         print(f"wrote {out / name}")
 
     cache_dir = None if args.no_cache else (args.cache_dir or out / ".cache")
+    observability = bool(args.trace_out or args.metrics_out)
     try:
-        runner = GridRunner(jobs=args.jobs, cache_dir=cache_dir)
+        runner = GridRunner(
+            jobs=args.jobs, cache_dir=cache_dir, observability=observability
+        )
     except (FileExistsError, NotADirectoryError):
         print(f"error: cache directory {cache_dir} is not a directory",
               file=sys.stderr)
@@ -215,6 +288,12 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     for app, c in tm.items():
         for scheme in ("Eager", "Lazy", "Bulk"):
             b = c.bandwidth_vs_eager(scheme)
+            if b is None:
+                # Degenerate Eager baseline (no bus traffic) — the row
+                # cannot be normalised; skip it rather than abort.
+                print(f"warning: {app}/{scheme}: zero Eager baseline "
+                      f"bandwidth, row skipped", file=sys.stderr)
+                continue
             fig13_rows.append([app, scheme, b["Inv"], b["Coh"], b["UB"],
                                b["WB"], b["Fill"], b["Total"]])
     write("fig13.txt", render_table(fig13_headers, fig13_rows,
@@ -262,6 +341,39 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     write("table8.txt", render_table(t8_headers, t8_rows,
                                      "Table 8: signature catalogue"))
     write("table8.csv", render_csv(t8_headers, t8_rows))
+
+    # Observability artifacts ----------------------------------------------
+    if observability:
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as stream:
+                stream.write(merged.metrics_json() + "\n")
+            print(f"wrote merged metrics to {args.metrics_out}")
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as stream:
+                stream.write(merged.trace_jsonl())
+            print(f"wrote {len(merged.traces)} trace summaries to "
+                  f"{args.trace_out}")
+        comparisons = merged.comparisons()
+        sections = []
+        all_ok = True
+        for key in sorted(merged.traces):
+            breakdowns = {
+                scheme: stats.bandwidth
+                for scheme, stats in comparisons[key].stats.items()
+            }
+            trace_bus = merged.traces[key]["bus"]
+            rows = bandwidth_reconciliation_rows(trace_bus, breakdowns)
+            all_ok = all_ok and reconciliation_ok(rows)
+            sections.append(
+                render_bandwidth_reconciliation(trace_bus, breakdowns,
+                                                title=key)
+            )
+        write("reconciliation.txt", "\n\n".join(sections))
+        if not all_ok:
+            print("error: traced bytes do not reconcile with the "
+                  "simulator's bandwidth accounting", file=sys.stderr)
+            return 3
+
     print(f"\nfull evaluation archived under {out}/")
     return 0
 
@@ -292,12 +404,20 @@ def build_parser() -> argparse.ArgumentParser:
     tm.add_argument("--seed", type=int, default=42)
     tm.add_argument("--partial", action="store_true",
                     help="also run Bulk with partial rollback")
+    tm.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="write the full event trace as JSONL")
+    tm.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="write the metrics snapshot as JSON")
     tm.set_defaults(func=_cmd_tm)
 
     tls = sub.add_parser("tls", help="run one TLS workload under every scheme")
     tls.add_argument("app", choices=sorted(TLS_APPLICATIONS))
     tls.add_argument("--tasks", type=int, default=120)
     tls.add_argument("--seed", type=int, default=42)
+    tls.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="write the full event trace as JSONL")
+    tls.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="write the metrics snapshot as JSON")
     tls.set_defaults(func=_cmd_tls)
 
     accuracy = sub.add_parser(
@@ -332,6 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: <out>/.cache)")
     reproduce.add_argument("--no-cache", action="store_true",
                            help="recompute every grid point")
+    reproduce.add_argument("--trace-out", default=None, metavar="PATH",
+                           help="write per-point trace summaries as JSONL "
+                           "(enables instrumentation)")
+    reproduce.add_argument("--metrics-out", default=None, metavar="PATH",
+                           help="write merged + per-point metrics as JSON "
+                           "(enables instrumentation)")
     reproduce.set_defaults(func=_cmd_reproduce)
 
     return parser

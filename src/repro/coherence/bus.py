@@ -14,7 +14,7 @@ Figure 14's commit-bandwidth comparison can be produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.coherence.message import (
     CATEGORY_OF_KIND,
@@ -22,6 +22,10 @@ from repro.coherence.message import (
     MessageKind,
     message_bytes,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import EventTracer
 
 
 @dataclass
@@ -66,17 +70,41 @@ class Bus:
         of its packet.
     bytes_per_cycle:
         Bus transfer rate used to convert packet sizes into occupancy.
+    metrics / tracer:
+        Optional observability hooks.  With metrics, every message also
+        increments ``bus.bytes.<Category>`` / ``bus.msgs.<kind>`` (and
+        ``bus.commit_bytes`` for commit traffic); with a tracer, every
+        message emits one ``bus.msg`` event.  Both are fed from the same
+        accounting statement as :class:`BandwidthBreakdown`, which is
+        what makes trace-vs-breakdown reconciliation exact.
     """
 
     def __init__(
         self,
         commit_occupancy_cycles: int = 10,
         bytes_per_cycle: int = 16,
+        metrics: "Optional[MetricsRegistry]" = None,
+        tracer: "Optional[EventTracer]" = None,
     ) -> None:
         self.commit_occupancy_cycles = commit_occupancy_cycles
         self.bytes_per_cycle = bytes_per_cycle
         self.bandwidth = BandwidthBreakdown()
         self._bus_free_at = 0
+        self._tracer = tracer
+        if metrics is not None:
+            self._byte_counters: Optional[Dict[BandwidthCategory, object]] = {
+                category: metrics.counter(f"bus.bytes.{category.value}")
+                for category in BandwidthCategory
+            }
+            self._msg_counters = {
+                kind: metrics.counter(f"bus.msgs.{kind.value}")
+                for kind in MessageKind
+            }
+            self._commit_counter = metrics.counter("bus.commit_bytes")
+        else:
+            self._byte_counters = None
+            self._msg_counters = None
+            self._commit_counter = None
 
     # ------------------------------------------------------------------
     # Bandwidth accounting
@@ -95,6 +123,19 @@ class Bus:
         self.bandwidth.message_counts[kind] += 1
         if is_commit_traffic:
             self.bandwidth.commit_bytes += size
+        if self._byte_counters is not None:
+            self._byte_counters[category].inc(size)
+            self._msg_counters[kind].inc()
+            if is_commit_traffic:
+                self._commit_counter.inc(size)
+        if self._tracer is not None:
+            self._tracer.emit(
+                "bus.msg",
+                msg=kind.value,
+                category=category.value,
+                bytes=size,
+                commit=is_commit_traffic,
+            )
         return size
 
     # ------------------------------------------------------------------

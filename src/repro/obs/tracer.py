@@ -1,0 +1,161 @@
+"""Structured event tracing with an always-on deterministic summary.
+
+An :class:`EventTracer` receives every instrumentation event the
+simulators emit (see ``docs/OBSERVABILITY.md`` for the schema).  Each
+event is a flat dictionary: a monotonically increasing ``seq``, the event
+``kind``, the tracer's current *context* fields (``sim`` and ``scheme``,
+set by the system at run start), and the emitter's keyword fields.
+
+Two consumers:
+
+* an optional **sink** — any ``callable(dict)``; :class:`JsonlWriter`
+  adapts a file into one, producing one canonically-encoded JSON object
+  per line;
+* the built-in **summary** — event counts by kind, squash counts by
+  cause, and bus bytes per (scheme, category) accumulated from
+  ``bus.msg`` events.  The summary is what the parallel runner ships
+  across process boundaries, and what the reconciliation report checks
+  against :class:`~repro.coherence.bus.BandwidthBreakdown`: both are fed
+  from the same :meth:`~repro.coherence.bus.Bus.record` call, so they
+  must agree to the byte.
+
+Determinism: events carry simulated clocks and byte counts only — no
+wall time, no PIDs, no object ids — so a trace is byte-identical across
+repeated runs of the same simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Callable, Dict, Optional
+
+
+class EventTracer:
+    """Emit structured events to a sink while keeping a summary."""
+
+    __slots__ = ("sink", "seq", "_context", "_events", "_causes", "_bus")
+
+    def __init__(self, sink: Optional[Callable[[Dict[str, Any]], None]] = None) -> None:
+        self.sink = sink
+        self.seq = 0
+        self._context: Dict[str, Any] = {}
+        #: kind -> count
+        self._events: Dict[str, int] = {}
+        #: squash cause -> count
+        self._causes: Dict[str, int] = {}
+        #: scheme -> {"bytes": {category: int}, "commit_bytes": int}
+        self._bus: Dict[str, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Context
+    # ------------------------------------------------------------------
+
+    def set_context(self, **fields: Any) -> None:
+        """Replace the fields stamped onto every subsequent event.
+
+        Systems call ``set_context(sim="tm", scheme="Bulk")`` when a run
+        starts; the context persists until the next ``set_context``.
+        """
+        self._context = dict(fields)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one event: summary accounting plus the optional sink."""
+        self.seq += 1
+        self._events[kind] = self._events.get(kind, 0) + 1
+        if kind == "squash":
+            cause = fields.get("cause", "unknown")
+            self._causes[cause] = self._causes.get(cause, 0) + 1
+        elif kind == "bus.msg":
+            scheme = self._context.get("scheme", "")
+            entry = self._bus.get(scheme)
+            if entry is None:
+                entry = self._bus[scheme] = {"bytes": {}, "commit_bytes": 0}
+            per_category = entry["bytes"]
+            category = fields["category"]
+            per_category[category] = (
+                per_category.get(category, 0) + fields["bytes"]
+            )
+            if fields.get("commit"):
+                entry["commit_bytes"] += fields["bytes"]
+        if self.sink is not None:
+            event: Dict[str, Any] = {"seq": self.seq, "kind": kind}
+            event.update(self._context)
+            event.update(fields)
+            self.sink(event)
+
+    def warn(self, message: str, **fields: Any) -> None:
+        """Emit a ``warning`` event (degraded analysis paths use this)."""
+        self.emit("warning", message=message, **fields)
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """The deterministic aggregate of everything emitted so far.
+
+        JSON-able, keys sorted — the canonical encoding of two summaries
+        of the same simulation is byte-identical regardless of process or
+        worker count.
+        """
+        return {
+            "events": {kind: self._events[kind] for kind in sorted(self._events)},
+            "squashes_by_cause": {
+                cause: self._causes[cause] for cause in sorted(self._causes)
+            },
+            "bus": {
+                scheme: {
+                    "bytes": {
+                        category: entry["bytes"][category]
+                        for category in sorted(entry["bytes"])
+                    },
+                    "commit_bytes": entry["commit_bytes"],
+                }
+                for scheme, entry in sorted(self._bus.items())
+            },
+        }
+
+
+class JsonlWriter:
+    """Adapt a text stream into a tracer sink: one JSON object per line.
+
+    Keys are sorted and separators fixed, so the emitted JSONL is
+    canonical.  The caller owns the stream's lifetime; :meth:`close`
+    flushes without closing streams it does not own (pass
+    ``owns_stream=True`` when the writer should close it).
+    """
+
+    __slots__ = ("stream", "owns_stream", "lines")
+
+    def __init__(self, stream: IO[str], owns_stream: bool = False) -> None:
+        self.stream = stream
+        self.owns_stream = owns_stream
+        self.lines = 0
+
+    @classmethod
+    def open(cls, path: "str | Any") -> "JsonlWriter":
+        """Open ``path`` for writing and own the resulting stream."""
+        return cls(open(path, "w", encoding="utf-8"), owns_stream=True)
+
+    def write(self, event: Dict[str, Any]) -> None:
+        """The sink callable: encode one event onto its own line."""
+        self.stream.write(
+            json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self.lines += 1
+
+    def close(self) -> None:
+        """Flush, and close the stream if this writer opened it."""
+        self.stream.flush()
+        if self.owns_stream:
+            self.stream.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

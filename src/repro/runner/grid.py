@@ -93,15 +93,36 @@ def _execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     Module-level so it pickles into pool workers; imports the drivers
     lazily to keep worker start-up importing only what it runs.
+
+    With ``payload["obs"]`` set, the point runs under a fresh
+    :class:`~repro.obs.Observability` bundle and the return value is a
+    wrapper ``{"comparison": ..., "metrics": ..., "trace": ...}`` whose
+    extra members are the point's metrics snapshot and deterministic
+    trace summary.  The instrumentation never feeds back into the
+    simulation, so the ``"comparison"`` member is identical to the bare
+    result of an uninstrumented run.
     """
     from repro.analysis.experiments import run_tls_comparison, run_tm_comparison
 
     knobs = dict(payload["knobs"])
+    obs = None
+    if payload.get("obs"):
+        from repro.obs import Observability
+
+        obs = Observability()
+        knobs["obs"] = obs
     if payload["kind"] == "tm":
         comparison = run_tm_comparison(payload["app"], seed=payload["seed"], **knobs)
     else:
         comparison = run_tls_comparison(payload["app"], seed=payload["seed"], **knobs)
-    return comparison_to_dict(comparison)
+    encoded = comparison_to_dict(comparison)
+    if obs is None:
+        return encoded
+    return {
+        "comparison": encoded,
+        "metrics": obs.metrics.snapshot(),
+        "trace": obs.tracer.summary(),
+    }
 
 
 @dataclass
@@ -124,11 +145,41 @@ class GridResult:
     cached_keys: List[str] = field(default_factory=list)
     #: Every failed attempt (including ones whose point later succeeded).
     failures: List[FailureRecord] = field(default_factory=list)
+    #: Point key -> metrics snapshot (observability runs only).
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Point key -> deterministic trace summary (observability runs only).
+    traces: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def to_json(self) -> str:
         """The merged results as canonical JSON (byte-identical for any
         worker count)."""
         return canonical_json(self.results)
+
+    def merged_metrics(self) -> Dict[str, Any]:
+        """All points' metrics merged in canonical key order.
+
+        :func:`repro.obs.metrics.merge_snapshots` is associative and
+        commutative, and the inputs are iterated in sorted-key order, so
+        the merge is byte-identical for any worker count.
+        """
+        from repro.obs.metrics import merge_snapshots
+
+        return merge_snapshots(
+            self.metrics[key] for key in sorted(self.metrics)
+        )
+
+    def metrics_json(self) -> str:
+        """Canonical JSON of the merged and per-point metrics."""
+        return canonical_json(
+            {"merged": self.merged_metrics(), "per_point": self.metrics}
+        )
+
+    def trace_jsonl(self) -> str:
+        """One canonical-JSON trace-summary line per point, in key order."""
+        return "".join(
+            canonical_json({"key": key, "summary": self.traces[key]}) + "\n"
+            for key in sorted(self.traces)
+        )
 
     def comparison(self, point: GridPoint) -> Any:
         """The reconstructed comparison object of one point."""
@@ -159,6 +210,13 @@ class GridRunner:
         point runs at most ``retries + 1`` times).
     cache_dir:
         Directory for the on-disk result cache; ``None`` disables caching.
+    observability:
+        Instrument every point with a per-worker metrics registry and
+        event tracer; snapshots/summaries land on the
+        :class:`GridResult` (``metrics`` / ``traces``), merged in
+        canonical key order.  Instrumented and uninstrumented runs use
+        distinct cache keys, and the simulation results themselves are
+        unaffected either way.
     """
 
     def __init__(
@@ -166,6 +224,7 @@ class GridRunner:
         jobs: Optional[int] = None,
         retries: int = 1,
         cache_dir: "Optional[str | os.PathLike[str]]" = None,
+        observability: bool = False,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -174,7 +233,17 @@ class GridRunner:
         self.jobs = default_jobs() if jobs is None else jobs
         self.retries = retries
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.observability = observability
         self.failure_log: List[FailureRecord] = []
+
+    def _payload(self, point: GridPoint) -> Dict[str, Any]:
+        """The point's execution/cache payload.  Only observability runs
+        gain the extra ``"obs"`` member, so plain runs keep their cache
+        keys (and cached results) from before instrumentation existed."""
+        payload = point.payload()
+        if self.observability:
+            payload["obs"] = True
+        return payload
 
     # ------------------------------------------------------------------
     # Public API
@@ -223,7 +292,14 @@ class GridRunner:
                 f"{len(dead)} grid point(s) failed after "
                 f"{self.retries + 1} attempt(s): {', '.join(dead)}"
             )
-        result.results = {key: computed[key] for key in sorted(computed)}
+        for key in sorted(computed):
+            entry = computed[key]
+            if self.observability:
+                result.results[key] = entry["comparison"]
+                result.metrics[key] = entry["metrics"]
+                result.traces[key] = entry["trace"]
+            else:
+                result.results[key] = entry
         return result
 
     def run_comparisons(self, points: Sequence[GridPoint]) -> Dict[str, Any]:
@@ -241,7 +317,7 @@ class GridRunner:
         for point in points:
             for attempt in range(1, self.retries + 2):
                 try:
-                    executed[point.key] = _execute_point(point.payload())
+                    executed[point.key] = _execute_point(self._payload(point))
                     break
                 except Exception as error:  # noqa: BLE001 - logged + re-raised
                     failures.append(
@@ -263,7 +339,7 @@ class GridRunner:
             attempts = {point.key: 1 for point in points}
             by_key = {point.key: point for point in points}
             futures = {
-                pool.submit(_execute_point, point.payload()): point.key
+                pool.submit(_execute_point, self._payload(point)): point.key
                 for point in points
             }
             while futures:
@@ -290,7 +366,7 @@ class GridRunner:
                     if attempt <= self.retries:
                         attempts[key] = attempt + 1
                         retry = pool.submit(
-                            _execute_point, by_key[key].payload()
+                            _execute_point, self._payload(by_key[key])
                         )
                         futures[retry] = key
         return executed
@@ -302,12 +378,13 @@ class GridRunner:
     def _cache_lookup(self, point: GridPoint) -> Optional[Dict[str, Any]]:
         if self.cache is None:
             return None
-        return self.cache.get(self.cache.key_for(point.payload()))
+        return self.cache.get(self.cache.key_for(self._payload(point)))
 
     def _cache_store(self, point: GridPoint, result: Dict[str, Any]) -> None:
         if self.cache is None:
             return
-        self.cache.put(self.cache.key_for(point.payload()), point.payload(), result)
+        payload = self._payload(point)
+        self.cache.put(self.cache.key_for(payload), payload, result)
 
     def _persist_failures(self, failures: List[FailureRecord]) -> None:
         if self.cache is None or not failures:

@@ -9,9 +9,12 @@ broken by processor id so runs are bit-for-bit reproducible.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 class MinClockScheduler:
@@ -19,13 +22,26 @@ class MinClockScheduler:
 
     Processors are re-queued with their updated clock after every step;
     a processor that has finished its trace is simply not re-queued.
+
+    ``metrics`` (optional) exposes the queue's work as the
+    ``scheduler.pushes`` / ``scheduler.pops`` / ``scheduler.stale_pops``
+    counters; without it the hot path pays only a ``None`` check.
     """
 
-    __slots__ = ("_heap", "_enqueued")
+    __slots__ = ("_heap", "_enqueued", "_push_counter", "_pop_counter",
+                 "_stale_counter")
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: "Optional[MetricsRegistry]" = None) -> None:
         self._heap: List[Tuple[int, int, int]] = []
         self._enqueued = 0
+        if metrics is not None:
+            self._push_counter = metrics.counter("scheduler.pushes")
+            self._pop_counter = metrics.counter("scheduler.pops")
+            self._stale_counter = metrics.counter("scheduler.stale_pops")
+        else:
+            self._push_counter = None
+            self._pop_counter = None
+            self._stale_counter = None
 
     def push(self, clock: int, processor_id: int, token: int = 0) -> None:
         """Queue a processor for its next step at ``clock``.
@@ -38,13 +54,23 @@ class MinClockScheduler:
             raise SimulationError(f"negative clock {clock}")
         heapq.heappush(self._heap, (clock, processor_id, token))
         self._enqueued += 1
+        if self._push_counter is not None:
+            self._push_counter.inc()
 
     def pop(self) -> Optional[Tuple[int, int, int]]:
         """The ``(clock, processor, token)`` triple with the smallest
         clock, or ``None`` when the queue is drained."""
         if not self._heap:
             return None
+        if self._pop_counter is not None:
+            self._pop_counter.inc()
         return heapq.heappop(self._heap)
+
+    def note_stale_pop(self) -> None:
+        """Callers report entries they discarded as stale (squash-bumped
+        epochs); purely observational."""
+        if self._stale_counter is not None:
+            self._stale_counter.inc()
 
     def __len__(self) -> int:
         return len(self._heap)

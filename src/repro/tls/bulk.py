@@ -116,9 +116,21 @@ class TlsBulkScheme(TlsScheme):
             return
         payload = len(rle_encode(snapshot))
         system.bus.record(MessageKind.SPAWN_SIGNATURE, payload_bytes=max(1, payload))
+        flushed = 0
         for _, line in bdm_expansion(bdm, snapshot, proc):
             if not line.dirty:
                 proc.cache.invalidate(line.line_address)
+                flushed += 1
+        if system.metrics is not None:
+            system.metrics.counter("sig.expansions").inc()
+        if system.tracer is not None:
+            system.tracer.emit(
+                "sig.expand",
+                op="spawn-flush",
+                task=state.task_id,
+                proc=proc.pid,
+                invalidated=flushed,
+            )
 
     def on_spawn_point(
         self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
@@ -271,11 +283,25 @@ class TlsBulkScheme(TlsScheme):
         )
         system.stats.commit_invalidations += invalidated
         system.stats.merged_lines += merged
-        system.stats.false_commit_invalidations += (
+        false_invalidated = (
             bdm.stats.false_commit_invalidations - before_false
         )
+        system.stats.false_commit_invalidations += false_invalidated
         for _ in range(writeback_invalidated):
             system.bus.record(MessageKind.WRITEBACK)
+        if system.metrics is not None:
+            system.metrics.counter("sig.expansions").inc()
+            system.metrics.counter("sig.commit_invalidations").inc(invalidated)
+        if system.tracer is not None:
+            system.tracer.emit(
+                "sig.expand",
+                op="commit-invalidate",
+                committer=committer.task_id,
+                receiver_proc=proc.pid,
+                invalidated=invalidated,
+                merged=merged,
+                false_invalidated=false_invalidated,
+            )
 
     # ------------------------------------------------------------------
     # Squash and cleanup
@@ -286,8 +312,20 @@ class TlsBulkScheme(TlsScheme):
     ) -> None:
         bdm = self.bdm_of(proc)
         context = self.ctx_of(proc, state.task_id)
-        bdm.squash_invalidate(proc.cache, context, invalidate_read_lines=True)
+        invalidated = bdm.squash_invalidate(
+            proc.cache, context, invalidate_read_lines=True
+        )
         context.clear()
+        if system.metrics is not None:
+            system.metrics.counter("sig.expansions").inc()
+        if system.tracer is not None:
+            system.tracer.emit(
+                "sig.expand",
+                op="squash-invalidate",
+                task=state.task_id,
+                proc=proc.pid,
+                invalidated=invalidated,
+            )
 
     def on_commit_cleanup(
         self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState

@@ -26,10 +26,11 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cache.cache import Cache
 from repro.coherence.bus import Bus
-from repro.coherence.message import MessageKind
+from repro.coherence.message import BandwidthCategory, MessageKind
 from repro.errors import SimulationError
 from repro.mem.address import byte_to_line, byte_to_word
 from repro.mem.memory import WordMemory
+from repro.obs import Observability
 from repro.sim.engine import MinClockScheduler
 from repro.sim.trace import EventKind, MemEvent
 from repro.tls.conflict import TlsScheme
@@ -80,16 +81,36 @@ class TlsSystem:
         params: TlsParams = TLS_DEFAULTS,
         collect_samples: bool = False,
         max_samples: int = 4000,
+        obs: Optional[Observability] = None,
     ) -> None:
         if not tasks:
             raise SimulationError("a TLS system needs at least one task")
         self.params = params
         self.scheme = scheme
         self.memory = WordMemory()
+        #: Observability hooks — strictly read-only with respect to the
+        #: simulation; ``None`` halves cost one pointer check per event.
+        self.metrics = obs.metrics if obs is not None else None
+        self.tracer = obs.tracer if obs is not None else None
         self.bus = Bus(
             commit_occupancy_cycles=params.commit_occupancy_cycles,
             bytes_per_cycle=params.bus_bytes_per_cycle,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
+        if self.metrics is not None:
+            self._m_dispatches = self.metrics.counter("tls.dispatches")
+            self._m_commits = self.metrics.counter("tls.commits")
+            self._m_packet = self.metrics.histogram("tls.commit_packet_bytes")
+            self._m_task_cycles = self.metrics.timer("tls.task_cycles")
+        else:
+            self._m_dispatches = None
+            self._m_commits = None
+            self._m_packet = None
+            self._m_task_cycles = None
+        #: task id -> clock of its latest dispatch/restart (observability
+        #: only; feeds the ``tls.task_cycles`` timer).
+        self._task_start_clock: Dict[int, int] = {}
         self.stats = TlsStats()
         self.tasks: List[TaskState] = [TaskState(task) for task in tasks]
         self.processors = [
@@ -116,7 +137,14 @@ class TlsSystem:
 
     def run(self) -> TlsRunResult:
         """Execute every task to commit and return the results."""
-        scheduler = MinClockScheduler()
+        if self.tracer is not None:
+            self.tracer.set_context(sim="tls", scheme=self.scheme.name)
+            self.tracer.emit(
+                "run.begin",
+                processors=len(self.processors),
+                tasks=len(self.tasks),
+            )
+        scheduler = MinClockScheduler(self.metrics)
         self._scheduler = scheduler
         self._dispatch_all(now=0)
         for proc in self.processors:
@@ -132,6 +160,7 @@ class TlsSystem:
             # clock commits *before* the entry's own work runs.
             self._try_commits(up_to=clock)
             if epoch != proc.epoch:
+                scheduler.note_stale_pop()
                 continue
             self._step(proc)
             self._schedule(proc)
@@ -151,6 +180,13 @@ class TlsSystem:
             self.last_commit_time, max(p.clock for p in self.processors)
         )
         self.stats.bandwidth = self.bus.bandwidth
+        if self.tracer is not None:
+            self.tracer.emit(
+                "run.end",
+                cycles=self.stats.cycles,
+                commits=self.stats.committed_tasks,
+                squashes=self.stats.squashes,
+            )
         return TlsRunResult(
             scheme=self.scheme.name,
             cycles=self.stats.cycles,
@@ -253,6 +289,17 @@ class TlsSystem:
         proc.clock = (
             max(proc.clock, spawn_time, now) + self.params.spawn_overhead_cycles
         )
+        if self._m_dispatches is not None:
+            self._m_dispatches.inc()
+            self._task_start_clock[state.task_id] = proc.clock
+        if self.tracer is not None:
+            self.tracer.emit(
+                "dispatch",
+                task=state.task_id,
+                proc=proc.pid,
+                attempt=state.attempts,
+                clock=proc.clock,
+            )
         self.scheme.on_dispatch(self, proc, state)
         self._wake(proc)
 
@@ -359,10 +406,12 @@ class TlsSystem:
                 dependence=1, false_positive=False
             )
             del aggressor_word
-            self.squash_from(victim, now=proc.clock)
+            self.squash_from(victim, now=proc.clock, cause="eager-conflict")
         gate = self.scheme.prepare_store(self, proc, state, line_address)
         if gate is not None:
-            self.squash_from(state.task_id, now=proc.clock)
+            self.squash_from(
+                state.task_id, now=proc.clock, cause="wr-wr-conflict"
+            )
             state.blocked_on = gate
             return False
         line = proc.cache.lookup(line_address)
@@ -470,6 +519,22 @@ class TlsSystem:
         self.stats.committed_tasks += 1
         self.stats.read_set_words += len(state.read_words)
         self.stats.write_set_words += len(state.write_words)
+        if self._m_commits is not None:
+            self._m_commits.inc()
+            self._m_packet.observe(packet_bytes)
+            start_clock = self._task_start_clock.pop(state.task_id, None)
+            if start_clock is not None:
+                self._m_task_cycles.observe(commit_time - start_clock)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "commit",
+                task=state.task_id,
+                proc=proc.pid,
+                packet_bytes=packet_bytes,
+                category=BandwidthCategory.INV.value,
+                write_words=len(state.write_words),
+                clock=commit_time,
+            )
 
         # Make the task's state architectural *before* receivers merge
         # lines (the merge fetches the committed version).
@@ -535,7 +600,9 @@ class TlsSystem:
     # Squash propagation
     # ------------------------------------------------------------------
 
-    def squash_from(self, first_task_id: int, now: int) -> None:
+    def squash_from(
+        self, first_task_id: int, now: int, cause: str = "commit-conflict"
+    ) -> None:
         """Squash ``first_task_id`` and every more-speculative active task
         (its children), restarting each on its processor.
 
@@ -543,6 +610,11 @@ class TlsSystem:
         merely restarted: it waits (``respawn_pending``) until the
         replayed parent crosses its spawn point again — by which time the
         parent has re-produced the child's live-ins.
+
+        ``cause`` labels the *direct* victim's squash for the event trace
+        and per-cause metrics (``commit-conflict``, ``eager-conflict``,
+        ``wr-wr-conflict``); cascaded children are labelled ``cascade``.
+        It has no effect on simulation behaviour.
         """
         squashed = [
             state
@@ -554,6 +626,19 @@ class TlsSystem:
             assert state.proc is not None
             proc = self.processors[state.proc]
             self.stats.squashes += 1
+            victim_cause = cause if state.task_id == first_task_id else "cascade"
+            if self.metrics is not None:
+                self.metrics.counter("tls.squashes").inc()
+                self.metrics.counter(f"tls.squashes.{victim_cause}").inc()
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "squash",
+                    victim=state.task_id,
+                    proc=proc.pid,
+                    cause=victim_cause,
+                    attempt=state.attempts,
+                    clock=now,
+                )
             self.scheme.squash_cleanup(self, proc, state)
             state.reset_for_restart()
             state.respawn_pending = state.task_id - 1 in squashed_ids
@@ -563,6 +648,10 @@ class TlsSystem:
                     f"— livelock (scheme {self.scheme.name})"
                 )
             proc.clock = max(proc.clock, now) + self.params.squash_overhead_cycles
+            if self._m_task_cycles is not None:
+                # The task timer measures the attempt that commits;
+                # restart the measurement at the replay's start.
+                self._task_start_clock[state.task_id] = proc.clock
             self._wake(proc)
 
     # ------------------------------------------------------------------

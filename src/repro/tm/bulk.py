@@ -246,6 +246,20 @@ class BulkScheme(TmScheme):
         system.stats.false_commit_invalidations += (
             bdm.stats.false_commit_invalidations - before
         )
+        if system.metrics is not None:
+            system.metrics.counter("sig.expansions").inc()
+            system.metrics.counter("sig.commit_invalidations").inc(invalidated)
+        if system.tracer is not None:
+            system.tracer.emit(
+                "sig.expand",
+                op="commit-invalidate",
+                committer=committer.pid,
+                receiver=receiver.pid,
+                invalidated=invalidated,
+                false_invalidated=(
+                    bdm.stats.false_commit_invalidations - before
+                ),
+            )
 
     def commit_cleanup(self, system: "TmSystem", proc: TmProcessor) -> None:
         bdm = self.bdm_of(proc)
@@ -263,7 +277,16 @@ class BulkScheme(TmScheme):
         bdm = self.bdm_of(proc)
         context = self._ctx(proc)
         if from_section == 0:
-            bdm.squash_invalidate(proc.cache, context)
+            invalidated = bdm.squash_invalidate(proc.cache, context)
+            if system.metrics is not None:
+                system.metrics.counter("sig.expansions").inc()
+            if system.tracer is not None:
+                system.tracer.emit(
+                    "sig.expand",
+                    op="squash-invalidate",
+                    proc=proc.pid,
+                    invalidated=invalidated,
+                )
             context.clear()
             return
         # Partial rollback: invalidate only with the union of the
@@ -275,7 +298,7 @@ class BulkScheme(TmScheme):
             discarded.union_update(section.write_signature)
         scratch = VersionContext(context.slot, bdm.config)
         scratch.write_signature = discarded
-        bdm.squash_invalidate(proc.cache, scratch)
+        invalidated = bdm.squash_invalidate(proc.cache, scratch)
         context.read_signature.clear()
         context.write_signature.clear()
         for section in proc.txn.sections[:from_section]:
@@ -285,6 +308,22 @@ class BulkScheme(TmScheme):
             context.write_signature.union_update(section.write_signature)
         context.delta_mask = bdm.decoder.decode(context.write_signature)
         system.stats.partial_rollbacks += 1
+        if system.metrics is not None:
+            system.metrics.counter("sig.expansions").inc()
+            system.metrics.counter("sig.decodes").inc()
+        if system.tracer is not None:
+            system.tracer.emit(
+                "sig.expand",
+                op="partial-rollback",
+                proc=proc.pid,
+                from_section=from_section,
+                invalidated=invalidated,
+            )
+            system.tracer.emit(
+                "sig.decode",
+                proc=proc.pid,
+                delta_sets=bin(context.delta_mask).count("1"),
+            )
 
     # ------------------------------------------------------------------
     # Non-speculative invalidations and overflow

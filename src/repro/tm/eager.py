@@ -85,6 +85,7 @@ class EagerScheme(TmScheme):
                 now=proc.clock,
                 dependence_granules=dep,
                 false_positive=False,
+                cause="eager-conflict",
             )
             if other.has_overflow():
                 self.overflow_disambiguation_cost(system, proc, other)

@@ -26,10 +26,11 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.coherence.bus import Bus
-from repro.coherence.message import MessageKind
+from repro.coherence.message import BandwidthCategory, MessageKind
 from repro.errors import SimulationError
 from repro.mem.address import byte_to_line, byte_to_word
 from repro.mem.memory import WordMemory
+from repro.obs import Observability
 from repro.sim.engine import MinClockScheduler
 from repro.sim.trace import EventKind, MemEvent, ThreadTrace
 from repro.tm.conflict import TmScheme
@@ -67,16 +68,38 @@ class TmSystem:
         params: TmParams = TM_DEFAULTS,
         collect_samples: bool = False,
         max_samples: int = 4000,
+        obs: Optional[Observability] = None,
     ) -> None:
         if not traces:
             raise SimulationError("a TM system needs at least one thread trace")
         self.params = params
         self.scheme = scheme
         self.memory = WordMemory()
+        #: Observability hooks — strictly read-only with respect to the
+        #: simulation; ``None`` halves cost one pointer check per event.
+        self.metrics = obs.metrics if obs is not None else None
+        self.tracer = obs.tracer if obs is not None else None
         self.bus = Bus(
             commit_occupancy_cycles=params.commit_occupancy_cycles,
             bytes_per_cycle=params.bus_bytes_per_cycle,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
+        if self.metrics is not None:
+            self._m_commits = self.metrics.counter("tm.commits")
+            self._m_txn_begins = self.metrics.counter("tm.txn_begins")
+            self._m_overflow = self.metrics.counter("tm.overflow_accesses")
+            self._m_packet = self.metrics.histogram("tm.commit_packet_bytes")
+            self._m_txn_cycles = self.metrics.timer("tm.txn_cycles")
+        else:
+            self._m_commits = None
+            self._m_txn_begins = None
+            self._m_overflow = None
+            self._m_packet = None
+            self._m_txn_cycles = None
+        #: pid -> clock at which its open transaction began (observability
+        #: only; feeds the ``tm.txn_cycles`` timer).
+        self._txn_begin_clock: Dict[int, int] = {}
         self.stats = TmStats()
         self.processors: List[TmProcessor] = [
             TmProcessor(pid, trace, params.geometry)
@@ -118,7 +141,14 @@ class TmSystem:
 
     def run(self) -> TmRunResult:
         """Execute every trace to completion and return the results."""
-        scheduler = MinClockScheduler()
+        if self.tracer is not None:
+            self.tracer.set_context(sim="tm", scheme=self.scheme.name)
+            self.tracer.emit(
+                "run.begin",
+                processors=len(self.processors),
+                events=sum(len(p.trace.events) for p in self.processors),
+            )
+        scheduler = MinClockScheduler(self.metrics)
         self._scheduler = scheduler
         for proc in self.processors:
             if proc.at_end():
@@ -132,6 +162,7 @@ class TmSystem:
             _, pid, epoch = entry
             proc = self.processors[pid]
             if proc.done or epoch != proc.epoch or proc.waiting_on is not None:
+                scheduler.note_stale_pop()
                 continue
             self._step(proc)
             if proc.done or proc.waiting_on is not None:
@@ -146,6 +177,13 @@ class TmSystem:
             )
         self.stats.cycles = max(proc.clock for proc in self.processors)
         self.stats.bandwidth = self.bus.bandwidth
+        if self.tracer is not None:
+            self.tracer.emit(
+                "run.end",
+                cycles=self.stats.cycles,
+                commits=self.stats.committed_transactions,
+                squashes=self.stats.squashes,
+            )
         return TmRunResult(
             scheme=self.scheme.name,
             cycles=self.stats.cycles,
@@ -188,6 +226,16 @@ class TmSystem:
             )
             self.scheme.on_txn_begin(self, proc)
             proc.clock += self.params.begin_overhead_cycles
+            if self._m_txn_begins is not None:
+                self._m_txn_begins.inc()
+                self._txn_begin_clock[proc.pid] = proc.clock
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "txn.begin",
+                    proc=proc.pid,
+                    txn=proc.txn.txn_id,
+                    clock=proc.clock,
+                )
         else:
             proc.txn.depth += 1
             if self.params.partial_rollback:
@@ -358,6 +406,7 @@ class TmSystem:
                     now=proc.clock,
                     dependence_granules=1 if exact else 0,
                     false_positive=not exact,
+                    cause="nonspec-store",
                 )
         any_copy = False
         for other in self.processors:
@@ -461,6 +510,22 @@ class TmSystem:
         self.stats.write_set_granules += len(txn.all_write_granules())
         if proc.has_overflow():
             self.stats.overflowed_transactions += 1
+        if self._m_commits is not None:
+            self._m_commits.inc()
+            self._m_packet.observe(packet_bytes)
+            begin_clock = self._txn_begin_clock.pop(proc.pid, None)
+            if begin_clock is not None:
+                self._m_txn_cycles.observe(now - begin_clock)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "commit",
+                proc=proc.pid,
+                txn=txn.txn_id,
+                packet_bytes=packet_bytes,
+                category=BandwidthCategory.INV.value,
+                write_granules=len(txn.all_write_granules()),
+                clock=now,
+            )
 
         committed_writes = txn.all_write_granules()
         updated_caches = {id(proc.cache)}
@@ -541,8 +606,17 @@ class TmSystem:
         now: int,
         dependence_granules: int,
         false_positive: bool,
+        cause: str = "commit-conflict",
     ) -> None:
-        """Squash (or partially roll back) a transaction and restart it."""
+        """Squash (or partially roll back) a transaction and restart it.
+
+        ``cause`` labels the squash for the event trace and per-cause
+        metrics: ``commit-conflict`` (bulk/lazy disambiguation at a
+        commit), ``eager-conflict`` (an eager scheme's per-access check),
+        ``nonspec-store`` (a non-speculative store hit the victim's
+        sets), or ``set-restriction`` (a (0,1) Set Restriction conflict).
+        It has no effect on simulation behaviour.
+        """
         txn = victim.txn
         if txn is None:
             raise SimulationError(f"squash of idle processor {victim.pid}")
@@ -552,6 +626,22 @@ class TmSystem:
         self.stats.dependence_granules += dependence_granules
         per_proc = self.stats.squashes_by_processor
         per_proc[victim.pid] = per_proc.get(victim.pid, 0) + 1
+        if self.metrics is not None:
+            self.metrics.counter("tm.squashes").inc()
+            self.metrics.counter(f"tm.squashes.{cause}").inc()
+            if false_positive:
+                self.metrics.counter("tm.squashes.false_positive").inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "squash",
+                victim=victim.pid,
+                txn=txn.txn_id,
+                cause=cause,
+                false_positive=false_positive,
+                dependence_granules=dependence_granules,
+                from_section=from_section,
+                clock=now,
+            )
 
         partial = self.params.partial_rollback and from_section > 0
         self.scheme.squash_cleanup(self, victim, from_section if partial else 0)
@@ -575,6 +665,10 @@ class TmSystem:
         victim.clock = max(victim.clock, now) + self.params.squash_overhead_cycles
         victim.epoch += 1
         victim.waiting_on = None
+        if self._m_txn_cycles is not None:
+            # The txn timer measures the *attempt* that commits; restart
+            # the measurement at the replay's start.
+            self._txn_begin_clock[victim.pid] = victim.clock
         if self._scheduler is not None:
             self._scheduler.push(victim.clock, victim.pid, victim.epoch)
         self._release_waiters(victim, victim.clock)
@@ -603,6 +697,7 @@ class TmSystem:
             now=proc.clock,
             dependence_granules=0,
             false_positive=False,
+            cause="set-restriction",
         )
 
     # ------------------------------------------------------------------
@@ -614,6 +709,10 @@ class TmSystem:
         for _ in range(count):
             self.bus.record(MessageKind.OVERFLOW_ACCESS)
         self.stats.overflow_area_accesses += count
+        if self._m_overflow is not None:
+            self._m_overflow.inc(count)
+        if self.tracer is not None:
+            self.tracer.emit("overflow", accesses=count)
 
     def _release_waiters(self, proc: TmProcessor, now: int) -> None:
         if not proc.waiters:

@@ -1,10 +1,13 @@
 """Tests for bandwidth normalisation."""
 
+import math
+
 import pytest
 
 from repro.analysis.bandwidth import commit_bandwidth_ratio, normalized_breakdown
 from repro.coherence.bus import BandwidthBreakdown
 from repro.coherence.message import BandwidthCategory
+from repro.obs.tracer import EventTracer
 
 
 def breakdown(inv=0, fill=0, commit=0):
@@ -22,9 +25,25 @@ class TestNormalizedBreakdown:
         assert result["Fill"] == 25.0
         assert result["Total"] == 50.0
 
-    def test_zero_baseline_rejected(self):
-        with pytest.raises(ValueError):
-            normalized_breakdown(breakdown(), 0)
+    def test_zero_baseline_degrades_gracefully(self):
+        # Regression: a degenerate baseline used to raise ValueError and
+        # abort the whole report; now the row is skipped (None).
+        assert normalized_breakdown(breakdown(), 0) is None
+        assert normalized_breakdown(breakdown(inv=5), -1) is None
+
+    def test_zero_baseline_warns_on_tracer(self):
+        tracer = EventTracer()
+        result = normalized_breakdown(
+            breakdown(inv=5), 0, tracer=tracer, label="app/Bulk"
+        )
+        assert result is None
+        summary = tracer.summary()
+        assert summary["events"].get("warning") == 1
+
+    def test_nonzero_baseline_does_not_warn(self):
+        tracer = EventTracer()
+        assert normalized_breakdown(breakdown(inv=5), 10, tracer=tracer)
+        assert "warning" not in tracer.summary()["events"]
 
 
 class TestCommitRatio:
@@ -33,5 +52,17 @@ class TestCommitRatio:
             breakdown(commit=17), breakdown(commit=100)
         ) == pytest.approx(17.0)
 
-    def test_zero_lazy_commit(self):
-        assert commit_bandwidth_ratio(breakdown(commit=5), breakdown()) == 0.0
+    def test_zero_lazy_commit_is_nan(self):
+        # Regression: a zero Lazy denominator used to report 0.0, which
+        # reads as "Bulk commits for free"; the ratio is undefined.
+        ratio = commit_bandwidth_ratio(breakdown(commit=5), breakdown())
+        assert math.isnan(ratio)
+
+    def test_nan_renders_as_na(self):
+        from repro.analysis.report import _format_cell, render_bars
+
+        assert _format_cell(float("nan")) == "n/a"
+        chart = render_bars({"a": float("nan"), "b": 50.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].endswith("n/a")
+        assert "#" in lines[1]

@@ -60,6 +60,50 @@ class TestTlsComparison:
         assert comparison.speedup("BulkNoOverlap") <= comparison.speedup("Bulk")
 
 
+class TestPerSchemeAggregation:
+    """Regression guard against last-scheme-wins merging: every scheme's
+    cycles and stats must be its own run's, never another scheme's entry
+    overwritten or aliased."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_tm_comparison(
+            "lu", txns_per_thread=4, seed=3, include_partial=True
+        )
+
+    def test_one_entry_per_scheme(self, comparison):
+        expected = {"Eager", "Lazy", "Bulk", "Bulk-Partial"}
+        assert set(comparison.cycles) == expected
+        assert set(comparison.stats) == expected
+
+    def test_stats_objects_are_distinct(self, comparison):
+        stats = list(comparison.stats.values())
+        for i, left in enumerate(stats):
+            for right in stats[i + 1:]:
+                assert left is not right
+                assert left.bandwidth is not right.bandwidth
+
+    def test_schemes_differ_observably(self, comparison):
+        # If a later scheme's results overwrote an earlier one's, these
+        # per-scheme signals would collapse to the same values.  Eager
+        # resolves at access time (zero commit bytes); Lazy enumerates
+        # addresses at commit; Bulk sends compressed signatures.
+        assert comparison.stats["Eager"].bandwidth.commit_bytes == 0
+        assert comparison.stats["Lazy"].bandwidth.commit_bytes > 0
+        assert comparison.stats["Bulk"].bandwidth.commit_bytes > 0
+        assert (
+            comparison.stats["Bulk"].bandwidth.commit_bytes
+            < comparison.stats["Lazy"].bandwidth.commit_bytes
+        )
+
+    def test_partial_run_does_not_clobber_bulk(self, comparison):
+        # Bulk-Partial executes a BulkScheme relabelled "Bulk-Partial";
+        # its entries must land beside plain Bulk's, not on top of them.
+        assert comparison.stats["Bulk"] is not comparison.stats["Bulk-Partial"]
+        assert comparison.cycles["Bulk"] > 0
+        assert comparison.cycles["Bulk-Partial"] > 0
+
+
 class TestSampleCollection:
     """Regression: ``collect_samples`` must keep every scheme's samples,
     not silently retain whichever scheme ran last."""

@@ -209,3 +209,77 @@ class TestTlsDifferential:
             return {k: v for k, v in memory.snapshot().items() if v != 0}
 
         assert nonzero(bulk.memory) == nonzero(eager.memory)
+
+
+# ----------------------------------------------------------------------
+# Trace reconciliation: traced bytes == simulator accounting, exactly
+# ----------------------------------------------------------------------
+
+class TestTraceReconciliation:
+    """The tracer's ``bus.msg`` accounting and the simulator's
+    :class:`~repro.coherence.bus.BandwidthBreakdown` are fed from the
+    same ``Bus.record`` call, so per category, per scheme, the sums must
+    agree **exactly** — not approximately."""
+
+    @staticmethod
+    def assert_reconciles(summary, scheme_name, breakdown):
+        from repro.coherence.message import BandwidthCategory
+
+        traced = summary["bus"][scheme_name]
+        for category in BandwidthCategory:
+            assert traced["bytes"].get(category.value, 0) == (
+                breakdown.category_bytes(category)
+            ), f"{scheme_name}/{category.value}"
+        assert sum(traced["bytes"].values()) == breakdown.total_bytes
+        assert traced["commit_bytes"] == breakdown.commit_bytes
+
+    @pytest.mark.parametrize("app,seed", TM_GRID[:2])
+    def test_tm_traced_bytes_match_breakdown(self, app, seed):
+        from repro.obs import Observability
+
+        for scheme_factory in (EagerScheme, LazyScheme, BulkScheme):
+            obs = Observability()
+            traces = build_tm_workload(
+                app, num_threads=4, txns_per_thread=4, seed=seed
+            )
+            result = TmSystem(traces, scheme_factory(), obs=obs).run()
+            self.assert_reconciles(
+                obs.tracer.summary(),
+                scheme_factory().name,
+                result.stats.bandwidth,
+            )
+
+    @pytest.mark.parametrize("app,seed", TLS_GRID[:2])
+    def test_tls_traced_bytes_match_breakdown(self, app, seed):
+        from repro.obs import Observability
+        from repro.tls.lazy import TlsLazyScheme
+
+        for scheme_factory in (TlsEagerScheme, TlsLazyScheme, TlsBulkScheme):
+            obs = Observability()
+            tasks = build_tls_workload(app, num_tasks=40, seed=seed)
+            result = TlsSystem(tasks, scheme_factory(), obs=obs).run()
+            self.assert_reconciles(
+                obs.tracer.summary(),
+                scheme_factory().name,
+                result.stats.bandwidth,
+            )
+
+    def test_commit_events_sum_to_commit_packet_bytes(self):
+        """Summing the traced commit packets per scheme reproduces the
+        histogram total and stays consistent with the bus commit bytes
+        for the signature schemes (one commit packet per commit)."""
+        from repro.obs import Observability
+
+        events = []
+        obs = Observability()
+        obs.tracer.sink = events.append
+        traces = build_tm_workload(
+            "mc", num_threads=4, txns_per_thread=4, seed=11
+        )
+        result = TmSystem(traces, BulkScheme(), obs=obs).run()
+        traced_packets = sum(
+            e["packet_bytes"] for e in events if e["kind"] == "commit"
+        )
+        hist = obs.metrics.snapshot()["histograms"]["tm.commit_packet_bytes"]
+        assert traced_packets == hist["total"]
+        assert traced_packets == result.stats.bandwidth.commit_bytes

@@ -1,0 +1,78 @@
+"""Instrumentation must be strictly read-only.
+
+Enabling the metrics registry and event tracer may not change a single
+simulation outcome: same cycles, same squashes, same bandwidth, same
+serialised comparison bytes.  These tests run each simulator twice —
+bare and instrumented — and compare the canonical encodings.
+"""
+
+from repro.obs import Observability
+from repro.runner.serialize import canonical_json, comparison_to_dict
+
+
+def tm_comparison(obs):
+    from repro.analysis.experiments import run_tm_comparison
+
+    return run_tm_comparison(
+        "mc", txns_per_thread=3, seed=9, include_partial=True, obs=obs
+    )
+
+
+def tls_comparison(obs):
+    from repro.analysis.experiments import run_tls_comparison
+
+    return run_tls_comparison("gzip", num_tasks=24, seed=9, obs=obs)
+
+
+class TestTracingIsInvisible:
+    def test_tm_results_identical_with_and_without_obs(self):
+        bare = canonical_json(comparison_to_dict(tm_comparison(None)))
+        traced = canonical_json(comparison_to_dict(tm_comparison(Observability())))
+        assert traced == bare
+
+    def test_tls_results_identical_with_and_without_obs(self):
+        bare = canonical_json(comparison_to_dict(tls_comparison(None)))
+        traced = canonical_json(comparison_to_dict(tls_comparison(Observability())))
+        assert traced == bare
+
+
+class TestInstrumentationCoverage:
+    def test_tm_metrics_match_stats(self):
+        obs = Observability()
+        comparison = tm_comparison(obs)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["tm.commits"] == sum(
+            stats.committed_transactions
+            for stats in comparison.stats.values()
+        )
+        assert counters["tm.squashes"] == sum(
+            stats.squashes for stats in comparison.stats.values()
+        )
+        # Per-cause counters decompose the total.
+        by_cause = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("tm.squashes.")
+            and name != "tm.squashes.false_positive"
+        )
+        assert by_cause == counters["tm.squashes"]
+
+    def test_tls_metrics_match_stats(self):
+        obs = Observability()
+        comparison = tls_comparison(obs)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["tls.commits"] == sum(
+            stats.committed_tasks for stats in comparison.stats.values()
+        )
+        assert counters["tls.squashes"] == sum(
+            stats.squashes for stats in comparison.stats.values()
+        )
+
+    def test_event_stream_covers_the_schema(self):
+        obs = Observability()
+        tm_comparison(obs)
+        tls_comparison(obs)
+        kinds = set(obs.tracer.summary()["events"])
+        for expected in ("run.begin", "run.end", "txn.begin", "dispatch",
+                         "commit", "squash", "bus.msg", "sig.expand"):
+            assert expected in kinds, f"no {expected} event emitted"

@@ -1,0 +1,94 @@
+"""Unit tests for the event tracer and its JSONL sink."""
+
+import io
+import json
+
+from repro.obs.tracer import EventTracer, JsonlWriter
+
+
+class TestEmission:
+    def test_seq_is_monotonic_and_context_is_stamped(self):
+        events = []
+        tracer = EventTracer(sink=events.append)
+        tracer.set_context(sim="tm", scheme="Bulk")
+        tracer.emit("txn.begin", proc=0)
+        tracer.emit("commit", proc=0, packet_bytes=9)
+        assert [e["seq"] for e in events] == [1, 2]
+        assert all(e["sim"] == "tm" and e["scheme"] == "Bulk" for e in events)
+        assert events[1]["packet_bytes"] == 9
+
+    def test_no_sink_still_summarises(self):
+        tracer = EventTracer()
+        tracer.emit("dispatch", task=1)
+        tracer.emit("dispatch", task=2)
+        assert tracer.summary()["events"] == {"dispatch": 2}
+
+    def test_squash_causes_are_counted(self):
+        tracer = EventTracer()
+        tracer.emit("squash", cause="eager-conflict")
+        tracer.emit("squash", cause="eager-conflict")
+        tracer.emit("squash", cause="cascade")
+        assert tracer.summary()["squashes_by_cause"] == {
+            "cascade": 1, "eager-conflict": 2,
+        }
+
+    def test_bus_bytes_accumulate_per_scheme_and_category(self):
+        tracer = EventTracer()
+        tracer.set_context(sim="tm", scheme="Lazy")
+        tracer.emit("bus.msg", msg="fill", category="Fill", bytes=64,
+                    commit=False)
+        tracer.emit("bus.msg", msg="commit_signature", category="Inv",
+                    bytes=12, commit=True)
+        tracer.set_context(sim="tm", scheme="Bulk")
+        tracer.emit("bus.msg", msg="commit_signature", category="Inv",
+                    bytes=7, commit=True)
+        assert tracer.summary()["bus"] == {
+            "Bulk": {"bytes": {"Inv": 7}, "commit_bytes": 7},
+            "Lazy": {"bytes": {"Fill": 64, "Inv": 12}, "commit_bytes": 12},
+        }
+
+    def test_warn_emits_warning_event(self):
+        events = []
+        tracer = EventTracer(sink=events.append)
+        tracer.warn("baseline is zero", label="app/Bulk")
+        assert events[0]["kind"] == "warning"
+        assert events[0]["message"] == "baseline is zero"
+
+
+class TestJsonlWriter:
+    def test_canonical_lines(self):
+        stream = io.StringIO()
+        writer = JsonlWriter(stream)
+        tracer = EventTracer(sink=writer.write)
+        tracer.emit("commit", proc=1, packet_bytes=3)
+        writer.close()
+        line = stream.getvalue().splitlines()[0]
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
+        assert writer.lines == 1
+
+    def test_open_owns_the_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlWriter.open(path) as writer:
+            writer.write({"kind": "run.begin"})
+        content = path.read_text(encoding="utf-8")
+        assert content == '{"kind":"run.begin"}\n'
+
+    def test_identical_runs_produce_identical_traces(self, tmp_path):
+        from repro.obs import Observability
+        from repro.tm.bulk import BulkScheme
+        from repro.tm.params import TM_DEFAULTS
+        from repro.tm.system import TmSystem
+        from repro.workloads.kernels import build_tm_workload
+
+        def trace():
+            stream = io.StringIO()
+            obs = Observability()
+            obs.tracer.sink = JsonlWriter(stream).write
+            traces = build_tm_workload("mc", num_threads=8,
+                                       txns_per_thread=2, seed=5)
+            TmSystem(traces, BulkScheme(), TM_DEFAULTS, obs=obs).run()
+            return stream.getvalue()
+
+        assert trace() == trace()

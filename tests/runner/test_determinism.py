@@ -38,6 +38,52 @@ class TestWorkerCountIndependence:
         assert GridRunner(jobs=2).run(GRID).to_json() == serial_result.to_json()
 
 
+class TestObservabilityDeterminism:
+    """Instrumented runs obey the same byte-identity contract, and the
+    instrumentation never changes the simulation results themselves."""
+
+    @pytest.fixture(scope="class")
+    def obs_serial(self):
+        return GridRunner(jobs=1, observability=True).run(GRID)
+
+    def test_jobs4_metrics_and_traces_byte_identical(self, obs_serial):
+        parallel = GridRunner(jobs=4, observability=True).run(GRID)
+        assert parallel.to_json() == obs_serial.to_json()
+        assert parallel.metrics_json() == obs_serial.metrics_json()
+        assert parallel.trace_jsonl() == obs_serial.trace_jsonl()
+
+    def test_tracing_does_not_change_results(self, serial_result, obs_serial):
+        assert obs_serial.to_json() == serial_result.to_json()
+
+    def test_merged_metrics_cover_every_point(self, obs_serial):
+        assert sorted(obs_serial.metrics) == sorted(p.key for p in GRID)
+        assert sorted(obs_serial.traces) == sorted(p.key for p in GRID)
+        merged = obs_serial.merged_metrics()
+        assert merged["counters"]["tm.commits"] == sum(
+            snapshot["counters"]["tm.commits"]
+            for key, snapshot in obs_serial.metrics.items()
+            if key.startswith("tm:")
+        )
+
+    def test_obs_and_plain_runs_use_distinct_cache_keys(self, tmp_path):
+        cache_dir = tmp_path / "grid-cache"
+        point = tm_point("mc", seed=11, txns_per_thread=2)
+        GridRunner(jobs=1, cache_dir=cache_dir).run([point])
+        # The instrumented run must not be served the uninstrumented
+        # cache entry (it lacks metrics and trace members).
+        obs_run = GridRunner(
+            jobs=1, cache_dir=cache_dir, observability=True
+        ).run([point])
+        assert obs_run.cached_keys == []
+        assert point.key in obs_run.metrics
+        # And the instrumented entry is itself cached and reusable.
+        rerun = GridRunner(
+            jobs=1, cache_dir=cache_dir, observability=True
+        ).run([point])
+        assert rerun.cached_keys == [point.key]
+        assert rerun.metrics_json() == obs_run.metrics_json()
+
+
 class TestCacheHitReuse:
     def test_cache_hit_rerun_invokes_no_scheme(
         self, tmp_path, serial_result, monkeypatch

@@ -48,3 +48,44 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "S14" in out and "false positives" in out
+
+
+class TestObservabilityFlags:
+    def test_tm_trace_and_metrics_out(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "tm", "mc", "--txns", "3", "--seed", "1",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "reconciliation" in out
+        assert "MISMATCH" not in out
+
+        import json
+        lines = trace.read_text(encoding="utf-8").splitlines()
+        assert lines, "trace file is empty"
+        first = json.loads(lines[0])
+        assert first["kind"] == "run.begin" and first["sim"] == "tm"
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        assert snapshot["counters"]["tm.commits"] > 0
+
+    def test_tls_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "tls", "gzip", "--tasks", "20", "--seed", "2",
+            "--trace-out", str(trace),
+        ]) == 0
+        assert "MISMATCH" not in capsys.readouterr().out
+        assert trace.stat().st_size > 0
+
+    def test_tracing_does_not_change_the_table(self, tmp_path, capsys):
+        assert main(["tm", "mc", "--txns", "3", "--seed", "1"]) == 0
+        bare = capsys.readouterr().out
+        assert main([
+            "tm", "mc", "--txns", "3", "--seed", "1",
+            "--trace-out", str(tmp_path / "t.jsonl"),
+        ]) == 0
+        traced = capsys.readouterr().out
+        # Identical up to the extra observability sections.
+        assert traced.startswith(bare)

@@ -50,3 +50,49 @@ def test_reproduce_runs_parallel_and_reuses_cache(tmp_path, capsys):
     fig11_first = (out / "fig11.csv").read_text()
     assert main([*argv, "--no-cache"]) == 0
     assert (out / "fig11.csv").read_text() == fig11_first
+
+
+def test_reproduce_with_observability_artifacts(tmp_path):
+    out = tmp_path / "results"
+    trace = tmp_path / "trace.jsonl"
+    metrics = tmp_path / "metrics.json"
+    code = main([
+        "reproduce", "--out", str(out),
+        "--tm-txns", "2", "--tls-tasks", "12", "--samples", "10",
+        "--seed", "5", "--jobs", "2",
+        "--trace-out", str(trace), "--metrics-out", str(metrics),
+    ])
+    assert code == 0
+
+    import json
+
+    # One canonical trace-summary line per grid point, in key order.
+    lines = trace.read_text(encoding="utf-8").splitlines()
+    keys = [json.loads(line)["key"] for line in lines]
+    assert keys == sorted(keys) and len(keys) == 16
+
+    payload = json.loads(metrics.read_text(encoding="utf-8"))
+    assert set(payload) == {"merged", "per_point"}
+    assert payload["merged"]["counters"]["tm.commits"] > 0
+    assert sorted(payload["per_point"]) == keys
+
+    reconciliation = (out / "reconciliation.txt").read_text(encoding="utf-8")
+    assert "MISMATCH" not in reconciliation
+    assert "OK" in reconciliation
+
+
+def test_reproduce_observability_leaves_results_unchanged(tmp_path):
+    plain_out = tmp_path / "plain"
+    obs_out = tmp_path / "obs"
+    base = ["--tm-txns", "2", "--tls-tasks", "12", "--samples", "10",
+            "--seed", "5", "--no-cache"]
+    assert main(["reproduce", "--out", str(plain_out)] + base) == 0
+    assert main([
+        "reproduce", "--out", str(obs_out),
+        "--trace-out", str(tmp_path / "t.jsonl"),
+        "--metrics-out", str(tmp_path / "m.json"),
+    ] + base) == 0
+    for name in EXPECTED_FILES:
+        plain = (plain_out / name).read_bytes()
+        traced = (obs_out / name).read_bytes()
+        assert plain == traced, f"{name} diverged under tracing"
