@@ -1,8 +1,13 @@
 # Convenience targets for the Bulk reproduction.
+#
+# Every target that runs repository code exports PYTHONPATH=src, so the
+# targets work from a clean checkout with no `pip install -e .` step.
 
 PYTHON ?= python
 
-.PHONY: install test bench examples figures clean
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: install test test-output verify bench bench-output examples figure clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -12,6 +17,10 @@ test:
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# The tier-1 gate: the exact invocation CI and the roadmap specify.
+verify:
+	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

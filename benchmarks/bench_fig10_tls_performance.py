@@ -10,8 +10,9 @@ spawn.
 from benchmarks.conftest import SEED, TLS_TASKS, geomean
 from repro.analysis.experiments import run_tls_comparison
 from repro.analysis.report import render_table
+from repro.spec import scheme_names
 
-SCHEMES = ["Eager", "Lazy", "Bulk", "BulkNoOverlap"]
+SCHEMES = list(scheme_names("tls"))
 
 
 def test_fig10_tls_performance(benchmark, tls_results):

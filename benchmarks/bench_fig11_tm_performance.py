@@ -8,8 +8,9 @@ Bulk-Partial's partial rollback has minor impact.
 from benchmarks.conftest import SEED, TM_TXNS, geomean
 from repro.analysis.experiments import run_tm_comparison
 from repro.analysis.report import render_table
+from repro.spec import scheme_names
 
-SCHEMES = ["Eager", "Lazy", "Bulk", "Bulk-Partial"]
+SCHEMES = list(scheme_names("tm", include_variants=True))
 
 
 def test_fig11_tm_performance(benchmark, tm_results):

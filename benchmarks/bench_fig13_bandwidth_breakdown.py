@@ -8,9 +8,10 @@ up).
 
 from benchmarks.conftest import geomean
 from repro.analysis.report import render_table
+from repro.spec import scheme_names
 
 CATEGORIES = ["Inv", "Coh", "UB", "WB", "Fill", "Total"]
-SCHEMES = ["Eager", "Lazy", "Bulk"]
+SCHEMES = list(scheme_names("tm"))
 
 
 def test_fig13_bandwidth_breakdown(benchmark, tm_results):

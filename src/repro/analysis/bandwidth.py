@@ -7,7 +7,7 @@ bandwidth as a percentage of Lazy's.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.coherence.bus import BandwidthBreakdown
 from repro.coherence.message import BandwidthCategory
@@ -21,6 +21,7 @@ def normalized_breakdown(
     baseline_total_bytes: int,
     tracer: "Optional[EventTracer]" = None,
     label: str = "",
+    warn: "Optional[Callable[[str], None]]" = None,
 ) -> Optional[Dict[str, float]]:
     """Per-category percentages of a baseline scheme's total bytes.
 
@@ -29,9 +30,10 @@ def normalized_breakdown(
 
     A degenerate baseline (zero total bytes — e.g. a workload so small
     the baseline scheme never touched the bus) cannot be normalised
-    against; the row is skipped by returning ``None``, with a ``warning``
-    event on ``tracer`` when one is supplied, instead of aborting the
-    whole report.
+    against; the row is skipped by returning ``None`` instead of aborting
+    the whole report.  The skip is reported once, here: as a ``warning``
+    event on ``tracer`` and/or through the ``warn`` callback (callers
+    pass e.g. a stderr printer) when either is supplied.
     """
     if baseline_total_bytes <= 0:
         if tracer is not None:
@@ -40,6 +42,8 @@ def normalized_breakdown(
                 label=label,
                 baseline_total_bytes=baseline_total_bytes,
             )
+        if warn is not None:
+            warn(f"{label}: zero baseline bandwidth, row skipped")
         return None
     result = {
         category.value: 100.0

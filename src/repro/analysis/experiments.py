@@ -1,28 +1,30 @@
-"""End-to-end experiment drivers for the TM and TLS comparisons.
+"""End-to-end experiment drivers for the substrate comparisons.
 
-These are the functions the ``benchmarks/`` harness calls: each runs one
-application under every scheme with shared parameters and returns the
-measurements that feed the corresponding table or figure.
+These are the functions the ``benchmarks/`` harness and the CLI call:
+each runs one application under every scheme of one substrate (TM, TLS,
+or checkpoint) with shared parameters and returns the measurements that
+feed the corresponding table or figure.  Which schemes exist — and in
+what order they run and print — comes from the
+:mod:`repro.spec.registry`, never from literal lists here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.analysis.bandwidth import commit_bandwidth_ratio, normalized_breakdown
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
-from repro.tls.bulk import TlsBulkScheme
-from repro.tls.eager import TlsEagerScheme
-from repro.tls.lazy import TlsLazyScheme
+from repro.checkpoint.params import CHECKPOINT_DEFAULTS, CheckpointParams
+from repro.checkpoint.stats import CheckpointStats
+from repro.checkpoint.system import CheckpointSystem
+from repro.checkpoint.workload import build_checkpoint_workload
+from repro.spec import resolve_scheme, scheme_entries, scheme_names
 from repro.tls.params import TLS_DEFAULTS, TlsParams
 from repro.tls.stats import TlsStats
 from repro.tls.system import TlsSystem, simulate_sequential
-from repro.tm.bulk import BulkScheme
-from repro.tm.eager import EagerScheme
-from repro.tm.lazy import LazyScheme
 from repro.tm.params import TM_DEFAULTS, TmParams
 from repro.tm.stats import TmStats
 from repro.tm.system import DisambiguationSample, TmSystem
@@ -60,18 +62,24 @@ class TmComparison:
         return self.cycles["Eager"] / self.cycles[scheme]
 
     def bandwidth_vs_eager(
-        self, scheme: str, tracer: "Optional[object]" = None
+        self,
+        scheme: str,
+        tracer: "Optional[object]" = None,
+        warn: "Optional[object]" = None,
     ) -> Optional[Dict[str, float]]:
         """Figure 13's metric: category percentages of Eager's total.
 
         ``None`` when the Eager baseline moved no bytes (degenerate
-        workload) — callers skip the row rather than crash.
+        workload) — callers skip the row rather than crash; the skip is
+        reported through ``tracer`` / ``warn`` by
+        :func:`~repro.analysis.bandwidth.normalized_breakdown`.
         """
         return normalized_breakdown(
             self.stats[scheme].bandwidth,
             self.stats["Eager"].bandwidth.total_bytes,
             tracer=tracer,
             label=f"{self.app}/{scheme}",
+            warn=warn,
         )
 
     def commit_bandwidth_vs_lazy(self) -> float:
@@ -101,43 +109,29 @@ def run_tm_comparison(
     ``scheme=...`` context so the merged stream stays attributable.
     """
     comparison = TmComparison(app=app)
-    schemes = [("Eager", EagerScheme()), ("Lazy", LazyScheme()), ("Bulk", BulkScheme())]
-    for name, scheme in schemes:
+    for entry in scheme_entries("tm", include_variants=include_partial):
         traces = build_tm_workload(
             app,
             num_threads=params.num_processors,
             txns_per_thread=txns_per_thread,
             seed=seed,
         )
+        # Variants (Bulk-Partial) carry parameter overrides and skip
+        # sample collection — they exist for Figure 11's extra bar, not
+        # for the Figure 15 accuracy methodology.
+        run_params = replace(params, **entry.params) if entry.params else params
         system = TmSystem(
             traces,
-            scheme,
-            params,
-            collect_samples=collect_samples,
+            entry.factory(),
+            run_params,
+            collect_samples=collect_samples and not entry.variant,
             obs=obs,
         )
         result = system.run()
-        comparison.cycles[name] = result.cycles
-        comparison.stats[name] = result.stats
-        if collect_samples:
-            comparison.samples_by_scheme[name] = result.samples
-    if include_partial:
-        from dataclasses import replace
-
-        partial_params = replace(params, partial_rollback=True)
-        traces = build_tm_workload(
-            app,
-            num_threads=params.num_processors,
-            txns_per_thread=txns_per_thread,
-            seed=seed,
-        )
-        partial_scheme = BulkScheme()
-        # Distinct label so traced bus traffic reconciles against the
-        # "Bulk-Partial" breakdown instead of folding into plain Bulk's.
-        partial_scheme.name = "Bulk-Partial"
-        result = TmSystem(traces, partial_scheme, partial_params, obs=obs).run()
-        comparison.cycles["Bulk-Partial"] = result.cycles
-        comparison.stats["Bulk-Partial"] = result.stats
+        comparison.cycles[entry.name] = result.cycles
+        comparison.stats[entry.name] = result.stats
+        if collect_samples and not entry.variant:
+            comparison.samples_by_scheme[entry.name] = result.samples
     return comparison
 
 
@@ -164,22 +158,67 @@ def run_tls_comparison(
     schemes: Optional[List[str]] = None,
     obs: "Optional[Observability]" = None,
 ) -> TlsComparison:
-    """Run one TLS application under Eager / Lazy / Bulk / BulkNoOverlap."""
+    """Run one TLS application under every registered TLS scheme."""
     if schemes is None:
-        schemes = ["Eager", "Lazy", "Bulk", "BulkNoOverlap"]
-    factories = {
-        "Eager": TlsEagerScheme,
-        "Lazy": TlsLazyScheme,
-        "Bulk": lambda: TlsBulkScheme(partial_overlap=True),
-        "BulkNoOverlap": lambda: TlsBulkScheme(partial_overlap=False),
-    }
+        schemes = list(scheme_names("tls"))
     comparison = TlsComparison(app=app)
     tasks = build_tls_workload(app, num_tasks=num_tasks, seed=seed)
     comparison.sequential_cycles = simulate_sequential(tasks, params)
     for name in schemes:
         tasks = build_tls_workload(app, num_tasks=num_tasks, seed=seed)
-        result = TlsSystem(tasks, factories[name](), params, obs=obs).run()
+        result = TlsSystem(tasks, resolve_scheme("tls", name), params, obs=obs).run()
         result.stats.sequential_cycles = comparison.sequential_cycles
         comparison.cycles[name] = result.cycles
         comparison.stats[name] = result.stats
+    return comparison
+
+
+@dataclass
+class CheckpointComparison:
+    """One workload's results under every checkpoint scheme at one
+    rollback depth — the raw material of the checkpoint report."""
+
+    app: str
+    rollback_depth: int
+    cycles: Dict[str, int] = field(default_factory=dict)
+    stats: Dict[str, CheckpointStats] = field(default_factory=dict)
+
+    def slowdown_vs_exact(self, scheme: str) -> float:
+        """Cycles relative to the exact-log baseline (1.0 = parity)."""
+        return self.cycles[scheme] / self.cycles["Exact"]
+
+    def commit_bandwidth_vs_exact(self) -> float:
+        """Bulk's commit bytes as a percentage of the exact log's
+        enumerated bytes — the checkpoint analogue of Figure 14."""
+        return commit_bandwidth_ratio(
+            self.stats["Bulk"].bandwidth, self.stats["Exact"].bandwidth
+        )
+
+
+def run_checkpoint_comparison(
+    app: str,
+    num_epochs: int = 64,
+    seed: int = 42,
+    rollback_depth: int = 1,
+    params: CheckpointParams = CHECKPOINT_DEFAULTS,
+    obs: "Optional[Observability]" = None,
+) -> CheckpointComparison:
+    """Run one checkpoint workload under every registered scheme.
+
+    Every scheme consumes a freshly built (identical) epoch stream at the
+    same rollback depth, so cycle and bandwidth ratios are meaningful.
+    """
+    comparison = CheckpointComparison(app=app, rollback_depth=rollback_depth)
+    for name in scheme_names("checkpoint"):
+        epochs = build_checkpoint_workload(app, num_epochs=num_epochs, seed=seed)
+        system = CheckpointSystem(
+            resolve_scheme("checkpoint", name),
+            epochs,
+            params,
+            rollback_depth=rollback_depth,
+            obs=obs,
+        )
+        stats = system.run()
+        comparison.cycles[name] = stats.cycles
+        comparison.stats[name] = stats
     return comparison

@@ -13,8 +13,45 @@ delta-exactness, as in a squash) and replays nothing; committing the
 oldest checkpoint makes its log architectural and gang-clears its
 signatures — the same primitives TM and TLS are built from, composed
 differently.
+
+The rest of the package promotes that processor to a full substrate
+alongside TM and TLS: :mod:`~repro.checkpoint.params` and
+:mod:`~repro.checkpoint.workload` describe machines and epoch streams,
+:mod:`~repro.checkpoint.schemes` pits the Bulk engine against an
+exact-log baseline, and :class:`~repro.checkpoint.system.CheckpointSystem`
+runs either to completion with TM/TLS-grade timing, bandwidth, and
+observability accounting.
 """
 
+from repro.checkpoint.params import CHECKPOINT_DEFAULTS, CheckpointParams
 from repro.checkpoint.processor import Checkpoint, CheckpointedProcessor
+from repro.checkpoint.schemes import (
+    BulkCheckpointScheme,
+    CheckpointScheme,
+    ExactCheckpointEngine,
+    ExactCheckpointScheme,
+)
+from repro.checkpoint.stats import CheckpointStats
+from repro.checkpoint.system import CheckpointSystem, EpochRecord
+from repro.checkpoint.workload import (
+    CHECKPOINT_WORKLOADS,
+    CheckpointEpoch,
+    build_checkpoint_workload,
+)
 
-__all__ = ["Checkpoint", "CheckpointedProcessor"]
+__all__ = [
+    "CHECKPOINT_DEFAULTS",
+    "CHECKPOINT_WORKLOADS",
+    "BulkCheckpointScheme",
+    "Checkpoint",
+    "CheckpointEpoch",
+    "CheckpointParams",
+    "CheckpointScheme",
+    "CheckpointStats",
+    "CheckpointSystem",
+    "CheckpointedProcessor",
+    "EpochRecord",
+    "ExactCheckpointEngine",
+    "ExactCheckpointScheme",
+    "build_checkpoint_workload",
+]

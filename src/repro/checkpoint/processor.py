@@ -100,6 +100,16 @@ class CheckpointedProcessor:
             )
         return self._checkpoints[-1]
 
+    def oldest(self) -> Checkpoint:
+        """The oldest live checkpoint (the next to commit).
+
+        The commit packet is built from its write signature *before*
+        :meth:`commit_oldest` releases the context.
+        """
+        if not self._checkpoints:
+            raise SimulationError("no live checkpoint")
+        return self._checkpoints[0]
+
     def rollback_to(self, checkpoint_id: int) -> int:
         """Restore the state as of ``take_checkpoint(checkpoint_id)``.
 
@@ -188,6 +198,11 @@ class CheckpointedProcessor:
         line.write_word(word, value)
         current.write_log[word] = value & 0xFFFFFFFF
         self.bdm.record_store(byte_address)
+
+    def line_view(self, line_address: int):
+        """The newest speculative view of a line's 16 words (public:
+        the checkpoint system's timing model fills load misses with it)."""
+        return self._line_view(line_address)
 
     def _line_view(self, line_address: int):
         """The newest speculative view of a line's 16 words."""

@@ -5,12 +5,14 @@
     python -m repro list
     python -m repro tm sjbb2k --txns 10
     python -m repro tls crafty --tasks 120
+    python -m repro checkpoint predictor --epochs 48
     python -m repro accuracy --samples 300
     python -m repro fig12
 
 Each subcommand prints the same rows the corresponding benchmark module
 regenerates; the CLI is a thin, scriptable wrapper over
-:mod:`repro.analysis`.
+:mod:`repro.analysis`.  Scheme names and their order come from the
+:mod:`repro.spec` registry — nothing here hard-codes a scheme list.
 """
 
 from __future__ import annotations
@@ -31,12 +33,16 @@ from repro.analysis.report import (
     render_csv,
     render_table,
 )
+from repro.checkpoint.workload import CHECKPOINT_WORKLOADS
 from repro.core.signature_config import TABLE8_CONFIGS
+from repro.spec import scheme_names
 from repro.workloads.kernels import TM_KERNELS
 from repro.workloads.tls_spec import TLS_APPLICATIONS
 
-TM_SCHEMES = ["Eager", "Lazy", "Bulk"]
-TLS_SCHEMES = ["Eager", "Lazy", "Bulk", "BulkNoOverlap"]
+
+def _warn_stderr(message: str) -> None:
+    """The CLI's warning sink (kept separate so tests can capture it)."""
+    print(f"warning: {message}", file=sys.stderr)
 
 
 def _open_observability(args: argparse.Namespace) -> Tuple[Any, Any]:
@@ -95,6 +101,7 @@ def _finish_observability(
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("TM workloads (Table 4):   " + " ".join(sorted(TM_KERNELS)))
     print("TLS workloads (Table 6):  " + " ".join(sorted(TLS_APPLICATIONS)))
+    print("Checkpoint workloads:     " + " ".join(sorted(CHECKPOINT_WORKLOADS)))
     print("Signatures (Table 8):     S1 .. S23")
     return 0
 
@@ -108,9 +115,8 @@ def _cmd_tm(args: argparse.Namespace) -> int:
         include_partial=args.partial,
         obs=obs,
     )
-    schemes = TM_SCHEMES + (["Bulk-Partial"] if args.partial else [])
     rows = []
-    for scheme in schemes:
+    for scheme in scheme_names("tm", include_variants=args.partial):
         stats = comparison.stats[scheme]
         rows.append(
             [
@@ -145,7 +151,7 @@ def _cmd_tls(args: argparse.Namespace) -> int:
         args.app, num_tasks=args.tasks, seed=args.seed, obs=obs
     )
     rows = []
-    for scheme in TLS_SCHEMES:
+    for scheme in scheme_names("tls"):
         stats = comparison.stats[scheme]
         rows.append(
             [
@@ -169,6 +175,110 @@ def _cmd_tls(args: argparse.Namespace) -> int:
     )
     if obs is not None:
         return _finish_observability(args, obs, writer, comparison.stats)
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Run one checkpoint workload across rollback depths.
+
+    Every depth in ``1..--max-depth`` is one grid point (Bulk vs the
+    exact-log baseline inside), executed through the same
+    :class:`~repro.runner.GridRunner` as ``reproduce`` — ``--jobs``,
+    caching, and per-point observability behave identically.
+    """
+    from repro.checkpoint.params import CHECKPOINT_DEFAULTS
+    from repro.runner import GridRunner, checkpoint_point
+
+    if args.max_depth > CHECKPOINT_DEFAULTS.max_live_checkpoints:
+        print(
+            f"error: --max-depth {args.max_depth} exceeds the "
+            f"{CHECKPOINT_DEFAULTS.max_live_checkpoints} live checkpoints",
+            file=sys.stderr,
+        )
+        return 2
+    observability = bool(args.trace_out or args.metrics_out)
+    try:
+        runner = GridRunner(
+            jobs=args.jobs, cache_dir=args.cache_dir,
+            observability=observability,
+        )
+    except (FileExistsError, NotADirectoryError):
+        print(f"error: cache directory {args.cache_dir} is not a directory",
+              file=sys.stderr)
+        return 2
+    points = {
+        depth: checkpoint_point(
+            args.app,
+            seed=args.seed,
+            num_epochs=args.epochs,
+            rollback_depth=depth,
+        )
+        for depth in range(1, args.max_depth + 1)
+    }
+    merged = runner.run(list(points.values()))
+    if merged.cached_keys:
+        print(f"{len(merged.cached_keys)} grid point(s) served from cache")
+
+    rows = []
+    for depth, point in points.items():
+        comparison = merged.comparison(point)
+        for scheme in scheme_names("checkpoint"):
+            stats = comparison.stats[scheme]
+            rows.append(
+                [
+                    depth,
+                    scheme,
+                    comparison.cycles[scheme],
+                    comparison.slowdown_vs_exact(scheme),
+                    stats.committed_checkpoints,
+                    stats.rollbacks,
+                    stats.squashes,
+                    stats.rollback_invalidations,
+                    stats.false_rollback_invalidations,
+                    stats.bandwidth.commit_bytes,
+                ]
+            )
+    print(
+        render_table(
+            ["Depth", "Scheme", "Cycles", "vsExact", "Commits", "Rollbacks",
+             "Squashes", "Inval", "FalseInv", "CommitB"],
+            rows,
+            title=f"Checkpoint: {args.app} ({args.epochs} epochs)",
+        )
+    )
+    for depth, point in points.items():
+        ratio = merged.comparison(point).commit_bandwidth_vs_exact()
+        print(f"depth {depth}: commit bandwidth Bulk/Exact: "
+              + ("n/a" if math.isnan(ratio) else f"{ratio:.1f}%"))
+
+    if observability:
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as stream:
+                stream.write(merged.metrics_json() + "\n")
+            print(f"wrote merged metrics to {args.metrics_out}")
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as stream:
+                stream.write(merged.trace_jsonl())
+            print(f"wrote {len(merged.traces)} trace summaries to "
+                  f"{args.trace_out}")
+        comparisons = merged.comparisons()
+        all_ok = True
+        for key in sorted(merged.traces):
+            breakdowns = {
+                scheme: stats.bandwidth
+                for scheme, stats in comparisons[key].stats.items()
+            }
+            trace_bus = merged.traces[key]["bus"]
+            all_ok = all_ok and reconciliation_ok(
+                bandwidth_reconciliation_rows(trace_bus, breakdowns)
+            )
+            print()
+            print(render_bandwidth_reconciliation(trace_bus, breakdowns,
+                                                  title=key))
+        if not all_ok:
+            print("error: traced bytes do not reconcile with the "
+                  "simulator's bandwidth accounting", file=sys.stderr)
+            return 3
     return 0
 
 
@@ -251,7 +361,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
     # Figure 10 / Table 6 --------------------------------------------------
     tls = {app: merged.comparison(point) for app, point in tls_points.items()}
-    fig10_headers = ["App", "Eager", "Lazy", "Bulk", "BulkNoOverlap"]
+    fig10_headers = ["App"] + list(scheme_names("tls"))
     fig10_rows = [
         [app] + [c.speedup(s) for s in fig10_headers[1:]]
         for app, c in tls.items()
@@ -273,7 +383,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
     # Figure 11 / 13 / 14 / Table 7 ---------------------------------------
     tm = {app: merged.comparison(point) for app, point in tm_points.items()}
-    fig11_headers = ["App", "Eager", "Lazy", "Bulk", "Bulk-Partial"]
+    fig11_headers = ["App"] + list(scheme_names("tm", include_variants=True))
     fig11_rows = [
         [app] + [c.speedup_over_eager(s) for s in fig11_headers[1:]]
         for app, c in tm.items()
@@ -286,13 +396,12 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
                      "Total"]
     fig13_rows = []
     for app, c in tm.items():
-        for scheme in ("Eager", "Lazy", "Bulk"):
-            b = c.bandwidth_vs_eager(scheme)
+        for scheme in scheme_names("tm"):
+            # A degenerate Eager baseline (no bus traffic) cannot be
+            # normalised against; the row is skipped with one warning on
+            # stderr, emitted inside normalized_breakdown.
+            b = c.bandwidth_vs_eager(scheme, warn=_warn_stderr)
             if b is None:
-                # Degenerate Eager baseline (no bus traffic) — the row
-                # cannot be normalised; skip it rather than abort.
-                print(f"warning: {app}/{scheme}: zero Eager baseline "
-                      f"bandwidth, row skipped", file=sys.stderr)
                 continue
             fig13_rows.append([app, scheme, b["Inv"], b["Coh"], b["UB"],
                                b["WB"], b["Fill"], b["Total"]])
@@ -419,6 +528,29 @@ def build_parser() -> argparse.ArgumentParser:
     tls.add_argument("--metrics-out", default=None, metavar="PATH",
                     help="write the metrics snapshot as JSON")
     tls.set_defaults(func=_cmd_tls)
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="run one checkpoint workload: Bulk vs the exact-log baseline",
+    )
+    checkpoint.add_argument("app", choices=sorted(CHECKPOINT_WORKLOADS))
+    checkpoint.add_argument("--epochs", type=_positive_int, default=48,
+                            help="epochs per run")
+    checkpoint.add_argument("--max-depth", type=_positive_int, default=3,
+                            help="sweep rollback depths 1..N")
+    checkpoint.add_argument("--seed", type=int, default=42)
+    checkpoint.add_argument("--jobs", type=_positive_int, default=None,
+                            help="worker processes for the depth sweep "
+                            "(default: one per CPU)")
+    checkpoint.add_argument("--cache-dir", default=None,
+                            help="result cache directory (default: no cache)")
+    checkpoint.add_argument("--trace-out", default=None, metavar="PATH",
+                            help="write per-point trace summaries as JSONL "
+                            "(enables instrumentation)")
+    checkpoint.add_argument("--metrics-out", default=None, metavar="PATH",
+                            help="write merged + per-point metrics as JSON "
+                            "(enables instrumentation)")
+    checkpoint.set_defaults(func=_cmd_checkpoint)
 
     accuracy = sub.add_parser(
         "accuracy", help="the Figure 15 signature accuracy sweep"

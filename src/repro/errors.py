@@ -33,6 +33,40 @@ class DeltaInexactError(ConfigurationError):
     """
 
 
+class UnknownSchemeError(ConfigurationError):
+    """A scheme name (or substrate) is not in the scheme registry.
+
+    Raised by :func:`repro.spec.resolve_scheme` when asked for a scheme
+    that was never registered — typically a misspelled name on the CLI.
+    Carries enough context for a helpful message *and* for programmatic
+    recovery:
+
+    ``substrate``
+        The substrate that was queried (``"tm"``, ``"tls"``, ...).
+    ``name``
+        The unknown scheme name, or ``None`` when the substrate itself
+        is unknown.
+    ``known``
+        The registered alternatives, in registration order.
+    """
+
+    def __init__(self, substrate: str, name=None, known=()) -> None:
+        self.substrate = substrate
+        self.name = name
+        self.known = tuple(known)
+        alternatives = ", ".join(self.known) or "none registered"
+        if name is None:
+            message = (
+                f"unknown substrate {substrate!r} (substrates: {alternatives})"
+            )
+        else:
+            message = (
+                f"unknown {substrate} scheme {name!r} "
+                f"(registered: {alternatives})"
+            )
+        super().__init__(message)
+
+
 class SetRestrictionError(BulkError):
     """The Set Restriction invariant was violated (Section 4.3/4.5).
 

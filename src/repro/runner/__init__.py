@@ -1,8 +1,8 @@
 """Parallel experiment execution: grids, worker pools, result caching.
 
 The evaluation's figure and table drivers all reduce to sweeping
-``run_tm_comparison`` / ``run_tls_comparison`` over an (application ×
-seed × knob) grid.  This package runs such grids across worker
+``run_tm_comparison`` / ``run_tls_comparison`` /
+``run_checkpoint_comparison`` over an (application × seed × knob) grid.  This package runs such grids across worker
 processes with deterministic merging, per-point retry, and an on-disk
 result cache keyed by parameters *and* simulator code — see
 ``docs/RUNNER.md`` for the full contract.
@@ -19,6 +19,7 @@ from repro.runner.grid import (
     GridPoint,
     GridResult,
     GridRunner,
+    checkpoint_point,
     default_jobs,
     tls_point,
     tm_point,
@@ -38,6 +39,7 @@ __all__ = [
     "GridRunner",
     "ResultCache",
     "canonical_json",
+    "checkpoint_point",
     "code_fingerprint",
     "comparison_from_dict",
     "comparison_to_dict",

@@ -53,13 +53,13 @@ class GridPoint:
     the point can be hashed into a stable cache key.
     """
 
-    kind: str  # "tm" or "tls"
+    kind: str  # "tm", "tls", or "checkpoint"
     app: str
     seed: int = 42
     knobs: Knobs = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in ("tm", "tls"):
+        if self.kind not in ("tm", "tls", "checkpoint"):
             raise ValueError(f"unknown grid point kind {self.kind!r}")
 
     @property
@@ -88,6 +88,11 @@ def tls_point(app: str, seed: int = 42, **knobs: Any) -> GridPoint:
     return GridPoint("tls", app, seed, tuple(sorted(knobs.items())))
 
 
+def checkpoint_point(app: str, seed: int = 42, **knobs: Any) -> GridPoint:
+    """A checkpoint grid point (knobs go to ``run_checkpoint_comparison``)."""
+    return GridPoint("checkpoint", app, seed, tuple(sorted(knobs.items())))
+
+
 def _execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Run one grid point and reduce it to its canonical result dict.
 
@@ -102,8 +107,17 @@ def _execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
     simulation, so the ``"comparison"`` member is identical to the bare
     result of an uninstrumented run.
     """
-    from repro.analysis.experiments import run_tls_comparison, run_tm_comparison
+    from repro.analysis.experiments import (
+        run_checkpoint_comparison,
+        run_tls_comparison,
+        run_tm_comparison,
+    )
 
+    drivers = {
+        "tm": run_tm_comparison,
+        "tls": run_tls_comparison,
+        "checkpoint": run_checkpoint_comparison,
+    }
     knobs = dict(payload["knobs"])
     obs = None
     if payload.get("obs"):
@@ -111,10 +125,9 @@ def _execute_point(payload: Dict[str, Any]) -> Dict[str, Any]:
 
         obs = Observability()
         knobs["obs"] = obs
-    if payload["kind"] == "tm":
-        comparison = run_tm_comparison(payload["app"], seed=payload["seed"], **knobs)
-    else:
-        comparison = run_tls_comparison(payload["app"], seed=payload["seed"], **knobs)
+    comparison = drivers[payload["kind"]](
+        payload["app"], seed=payload["seed"], **knobs
+    )
     encoded = comparison_to_dict(comparison)
     if obs is None:
         return encoded

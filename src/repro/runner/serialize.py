@@ -16,7 +16,12 @@ import json
 from dataclasses import fields as dataclass_fields
 from typing import Any, Dict, List
 
-from repro.analysis.experiments import TlsComparison, TmComparison
+from repro.analysis.experiments import (
+    CheckpointComparison,
+    TlsComparison,
+    TmComparison,
+)
+from repro.checkpoint.stats import CheckpointStats
 from repro.coherence.bus import BandwidthBreakdown
 from repro.coherence.message import BandwidthCategory, MessageKind
 from repro.tls.stats import TlsStats
@@ -131,6 +136,17 @@ def comparison_to_dict(comparison: Any) -> Dict[str, Any]:
                 for scheme, stats in comparison.stats.items()
             },
         }
+    if isinstance(comparison, CheckpointComparison):
+        return {
+            "kind": "checkpoint",
+            "app": comparison.app,
+            "rollback_depth": comparison.rollback_depth,
+            "cycles": dict(comparison.cycles),
+            "stats": {
+                scheme: _stats_to_dict(stats)
+                for scheme, stats in comparison.stats.items()
+            },
+        }
     raise TypeError(f"cannot serialise {type(comparison).__name__}")
 
 
@@ -155,6 +171,16 @@ def comparison_from_dict(data: Dict[str, Any]) -> Any:
         comparison.cycles = dict(data["cycles"])
         comparison.stats = {
             scheme: _stats_from_dict(TlsStats, stats)
+            for scheme, stats in data["stats"].items()
+        }
+        return comparison
+    if kind == "checkpoint":
+        comparison = CheckpointComparison(
+            app=data["app"], rollback_depth=data["rollback_depth"]
+        )
+        comparison.cycles = dict(data["cycles"])
+        comparison.stats = {
+            scheme: _stats_from_dict(CheckpointStats, stats)
             for scheme, stats in data["stats"].items()
         }
         return comparison

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import TYPE_CHECKING, List, Sequence, Union
 
 from repro.errors import TraceError
 from repro.sim.trace import (
@@ -31,7 +31,9 @@ from repro.sim.trace import (
     tx_begin,
     tx_end,
 )
-from repro.tls.task import TlsTask
+
+if TYPE_CHECKING:  # runtime import is deferred: repro.tls.task itself
+    from repro.tls.task import TlsTask  # imports repro.sim.trace
 
 _ENCODERS = {
     EventKind.LOAD: lambda e: ["l", e.address],
@@ -125,6 +127,8 @@ def save_tls_tasks(path: Union[str, Path], tasks: Sequence[TlsTask]) -> None:
 
 def load_tls_tasks(path: Union[str, Path]) -> List[TlsTask]:
     """Read TLS tasks from a JSON-lines file."""
+    from repro.tls.task import TlsTask
+
     tasks: List[TlsTask] = []
     header = None
     events: List[MemEvent] = []

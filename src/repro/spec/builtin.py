@@ -1,0 +1,102 @@
+"""Built-in scheme registrations for the three substrates.
+
+Imported lazily by the registry on first query.  Registration order is
+canonical run/report order and must not change — the determinism suite
+pins ``reproduce`` output byte for byte, and the tables print schemes in
+this order:
+
+* TM:  Eager, Lazy, Bulk, then the Bulk-Partial variant;
+* TLS: Eager, Lazy, Bulk (Partial Overlap on), BulkNoOverlap;
+* checkpoint: Exact (enumerated-log baseline), Bulk (signature BDM).
+
+Adding a scheme to an existing substrate is one ``register_scheme`` call
+here (or in the defining module); adding a substrate is a new block.
+"""
+
+from __future__ import annotations
+
+from repro.spec.registry import register_scheme
+
+
+def _tm_eager():
+    from repro.tm.eager import EagerScheme
+
+    return EagerScheme()
+
+
+def _tm_lazy():
+    from repro.tm.lazy import LazyScheme
+
+    return LazyScheme()
+
+
+def _tm_bulk():
+    from repro.tm.bulk import BulkScheme
+
+    return BulkScheme()
+
+
+def _tm_bulk_partial():
+    from repro.tm.bulk import BulkScheme
+
+    scheme = BulkScheme()
+    # Distinct label so partial-rollback runs don't fold into plain
+    # Bulk's per-scheme trace accounting.
+    scheme.name = "Bulk-Partial"
+    return scheme
+
+
+def _tls_eager():
+    from repro.tls.eager import TlsEagerScheme
+
+    return TlsEagerScheme()
+
+
+def _tls_lazy():
+    from repro.tls.lazy import TlsLazyScheme
+
+    return TlsLazyScheme()
+
+
+def _tls_bulk():
+    from repro.tls.bulk import TlsBulkScheme
+
+    return TlsBulkScheme(partial_overlap=True)
+
+
+def _tls_bulk_no_overlap():
+    from repro.tls.bulk import TlsBulkScheme
+
+    return TlsBulkScheme(partial_overlap=False)
+
+
+def _checkpoint_exact():
+    from repro.checkpoint.schemes import ExactCheckpointScheme
+
+    return ExactCheckpointScheme()
+
+
+def _checkpoint_bulk():
+    from repro.checkpoint.schemes import BulkCheckpointScheme
+
+    return BulkCheckpointScheme()
+
+
+register_scheme("tm", "Eager", _tm_eager)
+register_scheme("tm", "Lazy", _tm_lazy)
+register_scheme("tm", "Bulk", _tm_bulk)
+register_scheme(
+    "tm",
+    "Bulk-Partial",
+    _tm_bulk_partial,
+    variant=True,
+    params={"partial_rollback": True},
+)
+
+register_scheme("tls", "Eager", _tls_eager)
+register_scheme("tls", "Lazy", _tls_lazy)
+register_scheme("tls", "Bulk", _tls_bulk)
+register_scheme("tls", "BulkNoOverlap", _tls_bulk_no_overlap)
+
+register_scheme("checkpoint", "Exact", _checkpoint_exact)
+register_scheme("checkpoint", "Bulk", _checkpoint_bulk)

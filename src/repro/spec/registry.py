@@ -1,0 +1,164 @@
+"""The scheme registry: one authoritative map from (substrate, name).
+
+The paper's point (Sections 1 and 4.5) is that a single set of signature
+operations serves TLS, TM, and checkpointed execution.  The registry is
+where the code says the same thing once: every substrate registers its
+disambiguation schemes here, and the CLI, the experiment drivers, the
+grid runner, and the report headers all *derive* their scheme lists from
+it instead of repeating literal tuples.
+
+Entries are kept in registration order, which is also the canonical
+run/report order (``Eager``, ``Lazy``, ``Bulk``, ...), so iterating the
+registry reproduces the historical output byte for byte.
+
+Schemes that are parameter *variants* of another scheme rather than
+independent baselines (today only TM's ``Bulk-Partial``, which is plain
+``Bulk`` under ``partial_rollback=True``) register with ``variant=True``;
+they are excluded from the default listing and appended, in order, when
+``include_variants`` is requested — matching how the CLI's ``--partial``
+flag has always appended ``Bulk-Partial`` after the core three.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.errors import ConfigurationError, UnknownSchemeError
+
+
+class SchemeEntry:
+    """One registered scheme: identity, factory, and run metadata.
+
+    ``params`` holds keyword overrides a driver applies to the substrate's
+    parameter dataclass before running this scheme (``Bulk-Partial`` sets
+    ``partial_rollback=True``); schemes with no overrides leave it empty.
+    """
+
+    __slots__ = ("substrate", "name", "factory", "variant", "params")
+
+    def __init__(
+        self,
+        substrate: str,
+        name: str,
+        factory: Callable[[], Any],
+        variant: bool = False,
+        params: Dict[str, Any] = None,
+    ) -> None:
+        self.substrate = substrate
+        self.name = name
+        self.factory = factory
+        self.variant = variant
+        self.params: Dict[str, Any] = dict(params or {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = ", variant" if self.variant else ""
+        return f"SchemeEntry({self.substrate}:{self.name}{flag})"
+
+
+# substrate -> {name -> SchemeEntry}, both levels in registration order.
+_REGISTRY: Dict[str, Dict[str, SchemeEntry]] = {}
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Load the built-in registrations on first query.
+
+    Done lazily — not at ``repro.spec`` import time — because the builtin
+    module imports the tm/tls/checkpoint scheme classes, which themselves
+    import ``repro.spec`` for the shared base classes.
+    """
+    global _builtins_loaded
+    if not _builtins_loaded:
+        _builtins_loaded = True
+        import repro.spec.builtin  # noqa: F401  (registers on import)
+
+
+def register_scheme(
+    substrate: str,
+    name: str,
+    factory: Callable[[], Any],
+    *,
+    variant: bool = False,
+    params: Dict[str, Any] = None,
+) -> SchemeEntry:
+    """Register ``factory`` as substrate ``substrate``'s scheme ``name``.
+
+    ``factory`` takes no arguments and returns a fresh scheme instance —
+    schemes hold per-run state, so the registry never caches instances.
+    Registering a (substrate, name) pair twice is a configuration error;
+    tests that need to replace an entry unregister it first.
+    """
+    entries = _REGISTRY.setdefault(substrate, {})
+    if name in entries:
+        raise ConfigurationError(
+            f"scheme {substrate}:{name} is already registered"
+        )
+    entry = SchemeEntry(substrate, name, factory, variant=variant, params=params)
+    entries[name] = entry
+    return entry
+
+
+def unregister_scheme(substrate: str, name: str) -> None:
+    """Remove one registration (test helper; unknown names raise)."""
+    entry = scheme_entry(substrate, name)
+    del _REGISTRY[entry.substrate][entry.name]
+
+
+def substrates() -> List[str]:
+    """Every substrate with registered schemes, in registration order."""
+    _ensure_builtins()
+    return list(_REGISTRY)
+
+
+def scheme_entry(substrate: str, name: str) -> SchemeEntry:
+    """The :class:`SchemeEntry` for (substrate, name).
+
+    Raises :class:`~repro.errors.UnknownSchemeError` when either level is
+    missing, listing the registered alternatives.
+    """
+    _ensure_builtins()
+    entries = _REGISTRY.get(substrate)
+    if entries is None:
+        raise UnknownSchemeError(substrate, known=list(_REGISTRY))
+    entry = entries.get(name)
+    if entry is None:
+        raise UnknownSchemeError(substrate, name, known=list(entries))
+    return entry
+
+
+def resolve_scheme(substrate: str, name: str) -> Any:
+    """A fresh scheme instance for (substrate, name).
+
+    This is the one place scheme names turn into objects; everything that
+    used to index a literal factory dict goes through here and gets the
+    typed :class:`~repro.errors.UnknownSchemeError` on a misspelling.
+    """
+    return scheme_entry(substrate, name).factory()
+
+
+def scheme_names(substrate: str, include_variants: bool = False) -> List[str]:
+    """Registered scheme names for ``substrate``, in registration order.
+
+    Variants (``Bulk-Partial``) are appended after the core schemes only
+    when ``include_variants`` is set, mirroring the CLI's ``--partial``
+    behaviour.  Unknown substrates raise
+    :class:`~repro.errors.UnknownSchemeError`.
+    """
+    _ensure_builtins()
+    entries = _REGISTRY.get(substrate)
+    if entries is None:
+        raise UnknownSchemeError(substrate, known=list(_REGISTRY))
+    names = [e.name for e in entries.values() if not e.variant]
+    if include_variants:
+        names += [e.name for e in entries.values() if e.variant]
+    return names
+
+
+def scheme_entries(
+    substrate: str, include_variants: bool = False
+) -> List[SchemeEntry]:
+    """Like :func:`scheme_names`, but the full entries."""
+    return [
+        scheme_entry(substrate, name)
+        for name in scheme_names(substrate, include_variants)
+    ]

@@ -1,0 +1,132 @@
+"""Statistics shared by every speculative substrate.
+
+``TmStats`` and ``TlsStats`` used to carry six textually identical
+derived-metric properties each; the checkpoint substrate would have made
+it nine.  :class:`SpecStats` defines each derivation exactly once, over
+a small accessor vocabulary the substrates map onto their historical
+field names (which are preserved verbatim — the runner's serializer
+round-trips stats by dataclass field name, and the acceptance bar for
+this refactor is byte-identical artifacts).
+
+The accessor vocabulary:
+
+``commits``
+    Committed speculative units — transactions, tasks, or checkpoints.
+``read_set_total`` / ``write_set_total``
+    Summed per-unit footprint sizes, in the substrate's granularity
+    (granules for TM, words for TLS/checkpoint).
+``dependence_total``
+    Summed sizes of the dependence sets behind squashes.
+``squash_denominator``
+    What "per squash" means for the substrate: all squashes for TM and
+    checkpoint, but only *direct* (non-cascade) squashes for TLS, whose
+    dependence sets are recorded only at the commit that triggers them.
+
+Every ratio returns ``0.0`` on a zero denominator — partially filled
+stats objects (empty runs, unit tests) must never raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coherence.bus import BandwidthBreakdown
+
+
+@dataclass
+class SpecStats:
+    """Counters and derived metrics common to all three substrates."""
+
+    #: Speculative units squashed (for checkpointing: epochs discarded
+    #: by rollbacks).
+    squashes: int = 0
+    #: Squashes whose dependence was pure signature aliasing.
+    false_positive_squashes: int = 0
+    #: Cache lines invalidated in receivers by commits (for
+    #: checkpointing: lines invalidated by rollbacks).
+    commit_invalidations: int = 0
+    #: The subset of those invalidations that hit unrelated lines
+    #: (signature aliasing — always zero for exact schemes).
+    false_commit_invalidations: int = 0
+    #: Non-speculative dirty lines written back to satisfy the Set
+    #: Restriction (Section 4.3).
+    safe_writebacks: int = 0
+    #: Total simulated cycles of the run.
+    cycles: int = 0
+    #: Bus traffic, by category (see Figure 13).
+    bandwidth: BandwidthBreakdown = field(default_factory=BandwidthBreakdown)
+
+    # ------------------------------------------------------------------
+    # Substrate accessor vocabulary
+    # ------------------------------------------------------------------
+
+    @property
+    def commits(self) -> int:
+        """Committed speculative units (substrates map their field)."""
+        raise NotImplementedError
+
+    @property
+    def read_set_total(self) -> int:
+        """Summed read-set sizes across committed units."""
+        raise NotImplementedError
+
+    @property
+    def write_set_total(self) -> int:
+        """Summed write-set sizes across committed units."""
+        raise NotImplementedError
+
+    @property
+    def dependence_total(self) -> int:
+        """Summed dependence-set sizes behind squashes."""
+        raise NotImplementedError
+
+    @property
+    def squash_denominator(self) -> int:
+        """The squash count 'per squash' ratios divide by."""
+        return self.squashes
+
+    # ------------------------------------------------------------------
+    # Derived metrics — defined once, used by all substrates
+    # ------------------------------------------------------------------
+
+    @property
+    def avg_read_set(self) -> float:
+        """Mean read-set size per committed unit."""
+        if self.commits == 0:
+            return 0.0
+        return self.read_set_total / self.commits
+
+    @property
+    def avg_write_set(self) -> float:
+        """Mean write-set size per committed unit."""
+        if self.commits == 0:
+            return 0.0
+        return self.write_set_total / self.commits
+
+    @property
+    def avg_dependence_set(self) -> float:
+        """Mean dependence-set size per squash."""
+        if self.squash_denominator == 0:
+            return 0.0
+        return self.dependence_total / self.squash_denominator
+
+    @property
+    def false_squash_percent(self) -> float:
+        """Percentage of squashes caused purely by aliasing."""
+        if self.squash_denominator == 0:
+            return 0.0
+        return 100.0 * self.false_positive_squashes / self.squash_denominator
+
+    @property
+    def false_invalidations_per_commit(self) -> float:
+        """Mean aliased invalidations each commit inflicts."""
+        if self.commits == 0:
+            return 0.0
+        return self.false_commit_invalidations / self.commits
+
+    @property
+    def safe_writebacks_per_commit(self) -> float:
+        """Mean Set-Restriction writebacks per committed unit."""
+        if self.commits == 0:
+            return 0.0
+        return self.safe_writebacks / self.commits

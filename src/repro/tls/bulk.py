@@ -121,16 +121,9 @@ class TlsBulkScheme(TlsScheme):
             if not line.dirty:
                 proc.cache.invalidate(line.line_address)
                 flushed += 1
-        if system.metrics is not None:
-            system.metrics.counter("sig.expansions").inc()
-        if system.tracer is not None:
-            system.tracer.emit(
-                "sig.expand",
-                op="spawn-flush",
-                task=state.task_id,
-                proc=proc.pid,
-                invalidated=flushed,
-            )
+        system.note_sig_expansion(
+            "spawn-flush", task=state.task_id, proc=proc.pid, invalidated=flushed
+        )
 
     def on_spawn_point(
         self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
@@ -166,11 +159,7 @@ class TlsBulkScheme(TlsScheme):
             return None
         if action is SetRestrictionAction.WRITEBACK_NONSPEC:
             set_index = proc.cache.set_index(line_address)
-            for line in proc.cache.dirty_lines_in_set(set_index):
-                system.bus.record(MessageKind.WRITEBACK)
-                proc.cache.clean(line.line_address)
-                bdm.note_safe_writeback()
-                system.stats.safe_writebacks += 1
+            system.charge_safe_writebacks(proc.cache, bdm, set_index)
             return None
         # Wr-Wr conflict: a preempted (waiting) task owns dirty lines in
         # this set.  The more speculative task — the storer — is squashed
@@ -289,19 +278,15 @@ class TlsBulkScheme(TlsScheme):
         system.stats.false_commit_invalidations += false_invalidated
         for _ in range(writeback_invalidated):
             system.bus.record(MessageKind.WRITEBACK)
-        if system.metrics is not None:
-            system.metrics.counter("sig.expansions").inc()
-            system.metrics.counter("sig.commit_invalidations").inc(invalidated)
-        if system.tracer is not None:
-            system.tracer.emit(
-                "sig.expand",
-                op="commit-invalidate",
-                committer=committer.task_id,
-                receiver_proc=proc.pid,
-                invalidated=invalidated,
-                merged=merged,
-                false_invalidated=false_invalidated,
-            )
+        system.note_sig_expansion(
+            "commit-invalidate",
+            commit_invalidated=invalidated,
+            committer=committer.task_id,
+            receiver_proc=proc.pid,
+            invalidated=invalidated,
+            merged=merged,
+            false_invalidated=false_invalidated,
+        )
 
     # ------------------------------------------------------------------
     # Squash and cleanup
@@ -316,16 +301,12 @@ class TlsBulkScheme(TlsScheme):
             proc.cache, context, invalidate_read_lines=True
         )
         context.clear()
-        if system.metrics is not None:
-            system.metrics.counter("sig.expansions").inc()
-        if system.tracer is not None:
-            system.tracer.emit(
-                "sig.expand",
-                op="squash-invalidate",
-                task=state.task_id,
-                proc=proc.pid,
-                invalidated=invalidated,
-            )
+        system.note_sig_expansion(
+            "squash-invalidate",
+            task=state.task_id,
+            proc=proc.pid,
+            invalidated=invalidated,
+        )
 
     def on_commit_cleanup(
         self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState

@@ -10,17 +10,22 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Optional, Set
 
+from repro.spec.scheme import SpecScheme
 from repro.tls.task import TaskState
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.tls.system import TlsProcessor, TlsSystem
 
 
-class TlsScheme(abc.ABC):
-    """Strategy object for one TLS conflict-detection scheme."""
+class TlsScheme(SpecScheme):
+    """Strategy object for one TLS conflict-detection scheme.
 
-    #: Human-readable scheme name.
-    name: str = "abstract"
+    Extends :class:`~repro.spec.scheme.SpecScheme` (which supplies
+    ``name`` and the cross-substrate hook shape) with TLS semantics: in-
+    order task commit, eager data forwarding, squash propagation to
+    children, Partial Overlap, and word-grain disambiguation.
+    """
+
     #: Whether the exact-oracle dependence classification should apply the
     #: Partial Overlap exclusion for first children.  True for schemes
     #: that implement overlap (Bulk, Lazy); False for BulkNoOverlap,

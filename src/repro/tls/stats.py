@@ -1,96 +1,83 @@
-"""Statistics collected by a TLS run — the inputs to Table 6 and Fig. 10."""
+"""Statistics collected by a TLS run — the inputs to Table 6 and Fig. 10.
+
+The derived-metric bodies live in :class:`~repro.spec.stats.SpecStats`;
+this class keeps TLS's historical field names (the runner serializes
+stats by field name) and maps them onto the shared accessor vocabulary.
+TLS's one twist: "per squash" ratios divide by *direct* squashes only —
+cascaded child squashes carry no dependence sets of their own.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.coherence.bus import BandwidthBreakdown
+from repro.spec.stats import SpecStats
 
 
 @dataclass
-class TlsStats:
-    """Aggregated counters over one TLS simulation."""
+class TlsStats(SpecStats):
+    """Aggregated counters over one TLS simulation.
+
+    Inherited from :class:`~repro.spec.stats.SpecStats`: ``squashes``
+    (including cascaded child squashes), ``false_positive_squashes``
+    (direct squashes whose exact dependence set was empty — Table 6's
+    *Sq (%)* False Positives column), ``commit_invalidations``,
+    ``false_commit_invalidations`` (*False Inv/Com*),
+    ``safe_writebacks`` (*Safe WB/Tsk*; Bulk only), ``cycles``, and
+    ``bandwidth``.
+    """
 
     #: Tasks committed (equals the number of tasks — every task commits
     #: eventually).
     committed_tasks: int = 0
-    #: Total squash events, including cascaded child squashes.
-    squashes: int = 0
     #: Squashes of the directly conflicting task (children excluded) —
     #: the denominator of the *Dep Set Size* column.
     direct_squashes: int = 0
-    #: Squashes whose exact dependence set was empty (signature aliasing)
-    #: — Table 6's *Sq (%)* False Positives column counts these among
-    #: direct squashes.
-    false_positive_squashes: int = 0
     #: Sum of |exact W_C ∩ (R_R ∪ W_R)| in words over direct squashes.
     dependence_words: int = 0
     #: Sums over committed tasks of exact set sizes in words.
     read_set_words: int = 0
     write_set_words: int = 0
-    #: Lines invalidated in receiver caches at commits.
-    commit_invalidations: int = 0
-    #: Subset invalidated purely through aliasing (*False Inv/Com*).
-    false_commit_invalidations: int = 0
     #: Lines merged word-wise at commits (Section 4.4 path; Bulk only).
     merged_lines: int = 0
-    #: Non-speculative dirty lines written back for the Set Restriction
-    #: (*Safe WB/Tsk*; Bulk only).
-    safe_writebacks: int = 0
     #: Wr-Wr Set Restriction conflicts — a task wrote a set holding
     #: another speculative task's dirty lines (*Wr-Wr Cnf/1k Tasks*).
     wr_wr_conflicts: int = 0
-    #: Total cycles of the parallel run.
-    cycles: int = 0
     #: Cycles of the sequential reference execution (set by the harness).
     sequential_cycles: int = 0
-    bandwidth: BandwidthBreakdown = field(default_factory=BandwidthBreakdown)
 
     # ------------------------------------------------------------------
-    # Table 6 derived metrics
+    # SpecStats accessor vocabulary (words, per task / per direct squash)
     # ------------------------------------------------------------------
 
     @property
-    def avg_read_set(self) -> float:
-        """Average exact read-set size in words per committed task."""
-        if not self.committed_tasks:
-            return 0.0
-        return self.read_set_words / self.committed_tasks
+    def commits(self) -> int:
+        return self.committed_tasks
 
     @property
-    def avg_write_set(self) -> float:
-        """Average exact write-set size in words per committed task."""
-        if not self.committed_tasks:
-            return 0.0
-        return self.write_set_words / self.committed_tasks
+    def read_set_total(self) -> int:
+        return self.read_set_words
 
     @property
-    def avg_dependence_set(self) -> float:
-        """Average dependence-set size in words per direct squash."""
-        if not self.direct_squashes:
-            return 0.0
-        return self.dependence_words / self.direct_squashes
+    def write_set_total(self) -> int:
+        return self.write_set_words
 
     @property
-    def false_squash_percent(self) -> float:
-        """Percentage of direct squashes caused by aliasing alone."""
-        if not self.direct_squashes:
-            return 0.0
-        return 100.0 * self.false_positive_squashes / self.direct_squashes
+    def dependence_total(self) -> int:
+        return self.dependence_words
 
     @property
-    def false_invalidations_per_commit(self) -> float:
-        """Falsely invalidated lines per commit, over all caches."""
-        if not self.committed_tasks:
-            return 0.0
-        return self.false_commit_invalidations / self.committed_tasks
+    def squash_denominator(self) -> int:
+        return self.direct_squashes
 
     @property
     def safe_writebacks_per_task(self) -> float:
         """Safe writebacks per committed task."""
-        if not self.committed_tasks:
-            return 0.0
-        return self.safe_writebacks / self.committed_tasks
+        return self.safe_writebacks_per_commit
+
+    # ------------------------------------------------------------------
+    # TLS-only derived metrics
+    # ------------------------------------------------------------------
 
     @property
     def wr_wr_conflicts_per_1k_tasks(self) -> float:

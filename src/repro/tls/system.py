@@ -25,14 +25,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cache.cache import Cache
-from repro.coherence.bus import Bus
-from repro.coherence.message import BandwidthCategory, MessageKind
+from repro.coherence.message import MessageKind
 from repro.errors import SimulationError
 from repro.mem.address import byte_to_line, byte_to_word
 from repro.mem.memory import WordMemory
 from repro.obs import Observability
 from repro.sim.engine import MinClockScheduler
 from repro.sim.trace import EventKind, MemEvent
+from repro.spec.system import SpecSystemCore
 from repro.tls.conflict import TlsScheme
 from repro.tls.params import TLS_DEFAULTS, TlsParams
 from repro.tls.stats import TlsStats
@@ -71,7 +71,7 @@ class TlsRunResult:
     samples: List = field(default_factory=list)
 
 
-class TlsSystem:
+class TlsSystem(SpecSystemCore):
     """A 4-processor (by default) TLS machine running one scheme."""
 
     def __init__(
@@ -85,32 +85,18 @@ class TlsSystem:
     ) -> None:
         if not tasks:
             raise SimulationError("a TLS system needs at least one task")
-        self.params = params
         self.scheme = scheme
         self.memory = WordMemory()
-        #: Observability hooks — strictly read-only with respect to the
-        #: simulation; ``None`` halves cost one pointer check per event.
-        self.metrics = obs.metrics if obs is not None else None
-        self.tracer = obs.tracer if obs is not None else None
-        self.bus = Bus(
-            commit_occupancy_cycles=params.commit_occupancy_cycles,
-            bytes_per_cycle=params.bus_bytes_per_cycle,
-            metrics=self.metrics,
-            tracer=self.tracer,
+        # Bus, observability unpacking, and the shared instruments
+        # (tls.commits / tls.commit_packet_bytes / tls.task_cycles) come
+        # from the substrate core; only the dispatch counter is TLS-only.
+        self._init_spec_core(
+            params, obs, prefix="tls", unit_timer="tls.task_cycles"
         )
         if self.metrics is not None:
             self._m_dispatches = self.metrics.counter("tls.dispatches")
-            self._m_commits = self.metrics.counter("tls.commits")
-            self._m_packet = self.metrics.histogram("tls.commit_packet_bytes")
-            self._m_task_cycles = self.metrics.timer("tls.task_cycles")
         else:
             self._m_dispatches = None
-            self._m_commits = None
-            self._m_packet = None
-            self._m_task_cycles = None
-        #: task id -> clock of its latest dispatch/restart (observability
-        #: only; feeds the ``tls.task_cycles`` timer).
-        self._task_start_clock: Dict[int, int] = {}
         self.stats = TlsStats()
         self.tasks: List[TaskState] = [TaskState(task) for task in tasks]
         self.processors = [
@@ -137,13 +123,9 @@ class TlsSystem:
 
     def run(self) -> TlsRunResult:
         """Execute every task to commit and return the results."""
-        if self.tracer is not None:
-            self.tracer.set_context(sim="tls", scheme=self.scheme.name)
-            self.tracer.emit(
-                "run.begin",
-                processors=len(self.processors),
-                tasks=len(self.tasks),
-            )
+        self.trace_run_begin(
+            "tls", processors=len(self.processors), tasks=len(self.tasks)
+        )
         scheduler = MinClockScheduler(self.metrics)
         self._scheduler = scheduler
         self._dispatch_all(now=0)
@@ -180,13 +162,7 @@ class TlsSystem:
             self.last_commit_time, max(p.clock for p in self.processors)
         )
         self.stats.bandwidth = self.bus.bandwidth
-        if self.tracer is not None:
-            self.tracer.emit(
-                "run.end",
-                cycles=self.stats.cycles,
-                commits=self.stats.committed_tasks,
-                squashes=self.stats.squashes,
-            )
+        self.trace_run_end()
         return TlsRunResult(
             scheme=self.scheme.name,
             cycles=self.stats.cycles,
@@ -291,7 +267,7 @@ class TlsSystem:
         )
         if self._m_dispatches is not None:
             self._m_dispatches.inc()
-            self._task_start_clock[state.task_id] = proc.clock
+        self.start_unit_timer(state.task_id, proc.clock)
         if self.tracer is not None:
             self.tracer.emit(
                 "dispatch",
@@ -512,29 +488,20 @@ class TlsSystem:
         assert state.proc is not None
         proc = self.processors[state.proc]
         packet_bytes = self.scheme.commit_packet(self, state)
-        end = self.bus.acquire_commit(state.finish_clock, packet_bytes)
-        commit_time = end + self.params.commit_overhead_cycles
+        commit_time = self.charge_commit_bus(state.finish_clock, packet_bytes)
         self.last_commit_time = max(self.last_commit_time, commit_time)
 
         self.stats.committed_tasks += 1
         self.stats.read_set_words += len(state.read_words)
         self.stats.write_set_words += len(state.write_words)
-        if self._m_commits is not None:
-            self._m_commits.inc()
-            self._m_packet.observe(packet_bytes)
-            start_clock = self._task_start_clock.pop(state.task_id, None)
-            if start_clock is not None:
-                self._m_task_cycles.observe(commit_time - start_clock)
-        if self.tracer is not None:
-            self.tracer.emit(
-                "commit",
-                task=state.task_id,
-                proc=proc.pid,
-                packet_bytes=packet_bytes,
-                category=BandwidthCategory.INV.value,
-                write_words=len(state.write_words),
-                clock=commit_time,
-            )
+        self.note_commit(
+            packet_bytes,
+            state.task_id,
+            commit_time,
+            task=state.task_id,
+            proc=proc.pid,
+            write_words=len(state.write_words),
+        )
 
         # Make the task's state architectural *before* receivers merge
         # lines (the merge fetches the committed version).
@@ -627,18 +594,13 @@ class TlsSystem:
             proc = self.processors[state.proc]
             self.stats.squashes += 1
             victim_cause = cause if state.task_id == first_task_id else "cascade"
-            if self.metrics is not None:
-                self.metrics.counter("tls.squashes").inc()
-                self.metrics.counter(f"tls.squashes.{victim_cause}").inc()
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "squash",
-                    victim=state.task_id,
-                    proc=proc.pid,
-                    cause=victim_cause,
-                    attempt=state.attempts,
-                    clock=now,
-                )
+            self.note_squash(
+                victim_cause,
+                victim=state.task_id,
+                proc=proc.pid,
+                attempt=state.attempts,
+                clock=now,
+            )
             self.scheme.squash_cleanup(self, proc, state)
             state.reset_for_restart()
             state.respawn_pending = state.task_id - 1 in squashed_ids
@@ -648,10 +610,9 @@ class TlsSystem:
                     f"— livelock (scheme {self.scheme.name})"
                 )
             proc.clock = max(proc.clock, now) + self.params.squash_overhead_cycles
-            if self._m_task_cycles is not None:
-                # The task timer measures the attempt that commits;
-                # restart the measurement at the replay's start.
-                self._task_start_clock[state.task_id] = proc.clock
+            # The task timer measures the attempt that commits; restart
+            # the measurement at the replay's start.
+            self.start_unit_timer(state.task_id, proc.clock)
             self._wake(proc)
 
     # ------------------------------------------------------------------

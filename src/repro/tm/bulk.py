@@ -155,13 +155,7 @@ class BulkScheme(TmScheme):
         if action is not SetRestrictionAction.WRITEBACK_NONSPEC:
             return
         set_index = proc.cache.set_index(line_address)
-        for line in proc.cache.dirty_lines_in_set(set_index):
-            # Non-speculative dirty data always mirrors memory in this
-            # model, so the writeback is pure bandwidth plus a clean bit.
-            system.bus.record(MessageKind.WRITEBACK)
-            proc.cache.clean(line.line_address)
-            bdm.note_safe_writeback()
-            system.stats.safe_writebacks += 1
+        system.charge_safe_writebacks(proc.cache, bdm, set_index)
 
     def record_load(
         self, system: "TmSystem", proc: TmProcessor, byte_address: int
@@ -246,20 +240,14 @@ class BulkScheme(TmScheme):
         system.stats.false_commit_invalidations += (
             bdm.stats.false_commit_invalidations - before
         )
-        if system.metrics is not None:
-            system.metrics.counter("sig.expansions").inc()
-            system.metrics.counter("sig.commit_invalidations").inc(invalidated)
-        if system.tracer is not None:
-            system.tracer.emit(
-                "sig.expand",
-                op="commit-invalidate",
-                committer=committer.pid,
-                receiver=receiver.pid,
-                invalidated=invalidated,
-                false_invalidated=(
-                    bdm.stats.false_commit_invalidations - before
-                ),
-            )
+        system.note_sig_expansion(
+            "commit-invalidate",
+            commit_invalidated=invalidated,
+            committer=committer.pid,
+            receiver=receiver.pid,
+            invalidated=invalidated,
+            false_invalidated=bdm.stats.false_commit_invalidations - before,
+        )
 
     def commit_cleanup(self, system: "TmSystem", proc: TmProcessor) -> None:
         bdm = self.bdm_of(proc)
@@ -278,15 +266,9 @@ class BulkScheme(TmScheme):
         context = self._ctx(proc)
         if from_section == 0:
             invalidated = bdm.squash_invalidate(proc.cache, context)
-            if system.metrics is not None:
-                system.metrics.counter("sig.expansions").inc()
-            if system.tracer is not None:
-                system.tracer.emit(
-                    "sig.expand",
-                    op="squash-invalidate",
-                    proc=proc.pid,
-                    invalidated=invalidated,
-                )
+            system.note_sig_expansion(
+                "squash-invalidate", proc=proc.pid, invalidated=invalidated
+            )
             context.clear()
             return
         # Partial rollback: invalidate only with the union of the
@@ -308,22 +290,18 @@ class BulkScheme(TmScheme):
             context.write_signature.union_update(section.write_signature)
         context.delta_mask = bdm.decoder.decode(context.write_signature)
         system.stats.partial_rollbacks += 1
-        if system.metrics is not None:
-            system.metrics.counter("sig.expansions").inc()
-            system.metrics.counter("sig.decodes").inc()
-        if system.tracer is not None:
-            system.tracer.emit(
-                "sig.expand",
-                op="partial-rollback",
-                proc=proc.pid,
-                from_section=from_section,
-                invalidated=invalidated,
-            )
-            system.tracer.emit(
-                "sig.decode",
-                proc=proc.pid,
-                delta_sets=bin(context.delta_mask).count("1"),
-            )
+        system.note_sig_expansion(
+            "partial-rollback",
+            decode=True,
+            proc=proc.pid,
+            from_section=from_section,
+            invalidated=invalidated,
+        )
+        system.trace_event(
+            "sig.decode",
+            proc=proc.pid,
+            delta_sets=bin(context.delta_mask).count("1"),
+        )
 
     # ------------------------------------------------------------------
     # Non-speculative invalidations and overflow

@@ -16,17 +16,20 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Optional
 
+from repro.spec.scheme import SpecScheme
 from repro.tm.processor import TmProcessor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.tm.system import TmSystem
 
 
-class TmScheme(abc.ABC):
-    """Strategy object for one conflict-detection scheme."""
+class TmScheme(SpecScheme):
+    """Strategy object for one conflict-detection scheme.
 
-    #: Human-readable scheme name ("Eager", "Lazy", "Bulk").
-    name: str = "abstract"
+    Extends :class:`~repro.spec.scheme.SpecScheme` (which supplies
+    ``name`` and the cross-substrate hook shape) with TM's transaction
+    lifecycle, access, and overflow hooks.
+    """
 
     # ------------------------------------------------------------------
     # Construction hooks

@@ -1,38 +1,40 @@
-"""Statistics collected by a TM run — the inputs to Table 7 and Figs 11-14."""
+"""Statistics collected by a TM run — the inputs to Table 7 and Figs 11-14.
+
+The derived-metric bodies live in :class:`~repro.spec.stats.SpecStats`;
+this class keeps TM's historical field names (the runner serializes
+stats by field name) and maps them onto the shared accessor vocabulary.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.coherence.bus import BandwidthBreakdown
+from repro.spec.stats import SpecStats
 
 
 @dataclass
-class TmStats:
-    """Aggregated counters over one TM simulation."""
+class TmStats(SpecStats):
+    """Aggregated counters over one TM simulation.
+
+    Inherited from :class:`~repro.spec.stats.SpecStats`: ``squashes``
+    (any cause), ``false_positive_squashes`` (the *Sq (%)* False
+    Positives column of Table 7 — squashes whose *exact* dependence set
+    was empty), ``commit_invalidations`` (lines invalidated at commits
+    in receivers), ``false_commit_invalidations`` (the *False Inv/Com*
+    column — receivers' lines the committer did not actually write),
+    ``safe_writebacks`` (*Safe WB/Tr*; Bulk only), ``cycles`` (max
+    processor completion time), and ``bandwidth`` (Figures 13 and 14).
+    """
 
     #: Transactions that committed.
     committed_transactions: int = 0
-    #: Squash events (any cause).
-    squashes: int = 0
-    #: Squashes whose *exact* dependence set was empty — pure signature
-    #: aliasing (the *Sq (%)* False Positives column of Table 7).
-    false_positive_squashes: int = 0
     #: Sum over squashes of |W_C ∩ (R_R ∪ W_R)| in granules (lines for
     #: TM), for the *Dep Set Size* column.
     dependence_granules: int = 0
     #: Sums over committed transactions of exact read/write set sizes.
     read_set_granules: int = 0
     write_set_granules: int = 0
-    #: Lines invalidated at commits in receivers (all causes).
-    commit_invalidations: int = 0
-    #: Subset of the above that the committer did not actually write
-    #: (aliasing) — the *False Inv/Com* column.
-    false_commit_invalidations: int = 0
-    #: Non-speculative dirty lines written back to keep the Set
-    #: Restriction (*Safe WB/Tr* column; Bulk only).
-    safe_writebacks: int = 0
     #: Set Restriction (0,1) conflicts (Bulk only; near zero in TM).
     set_restriction_conflicts: int = 0
     #: Accesses to per-thread overflow areas (the *Overflow* column).
@@ -43,55 +45,30 @@ class TmStats:
     mitigation_stalls: int = 0
     #: Squashes per committing event, keyed by committer pid (debugging).
     squashes_by_processor: Dict[int, int] = field(default_factory=dict)
-    #: Total cycles of the run (max processor completion time).
-    cycles: int = 0
-    #: Bus bandwidth breakdown (Figures 13 and 14).
-    bandwidth: BandwidthBreakdown = field(default_factory=BandwidthBreakdown)
     #: Partial rollbacks performed (Bulk-Partial only).
     partial_rollbacks: int = 0
 
     # ------------------------------------------------------------------
-    # Table 7 derived metrics
+    # SpecStats accessor vocabulary (granules, per transaction)
     # ------------------------------------------------------------------
 
     @property
-    def avg_read_set(self) -> float:
-        """Average exact read-set size (granules) per committed txn."""
-        if not self.committed_transactions:
-            return 0.0
-        return self.read_set_granules / self.committed_transactions
+    def commits(self) -> int:
+        return self.committed_transactions
 
     @property
-    def avg_write_set(self) -> float:
-        """Average exact write-set size (granules) per committed txn."""
-        if not self.committed_transactions:
-            return 0.0
-        return self.write_set_granules / self.committed_transactions
+    def read_set_total(self) -> int:
+        return self.read_set_granules
 
     @property
-    def avg_dependence_set(self) -> float:
-        """Average dependence-set size (granules) per squash."""
-        if not self.squashes:
-            return 0.0
-        return self.dependence_granules / self.squashes
+    def write_set_total(self) -> int:
+        return self.write_set_granules
 
     @property
-    def false_squash_percent(self) -> float:
-        """Percentage of squashes caused purely by signature aliasing."""
-        if not self.squashes:
-            return 0.0
-        return 100.0 * self.false_positive_squashes / self.squashes
-
-    @property
-    def false_invalidations_per_commit(self) -> float:
-        """Falsely invalidated lines per commit, totalled over all caches."""
-        if not self.committed_transactions:
-            return 0.0
-        return self.false_commit_invalidations / self.committed_transactions
+    def dependence_total(self) -> int:
+        return self.dependence_granules
 
     @property
     def safe_writebacks_per_txn(self) -> float:
         """Safe writebacks per committed transaction."""
-        if not self.committed_transactions:
-            return 0.0
-        return self.safe_writebacks / self.committed_transactions
+        return self.safe_writebacks_per_commit

@@ -25,14 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.coherence.bus import Bus
-from repro.coherence.message import BandwidthCategory, MessageKind
+from repro.coherence.message import MessageKind
 from repro.errors import SimulationError
 from repro.mem.address import byte_to_line, byte_to_word
 from repro.mem.memory import WordMemory
 from repro.obs import Observability
 from repro.sim.engine import MinClockScheduler
 from repro.sim.trace import EventKind, MemEvent, ThreadTrace
+from repro.spec.system import SpecSystemCore
 from repro.tm.conflict import TmScheme
 from repro.tm.params import TM_DEFAULTS, TmParams
 from repro.tm.processor import TmProcessor
@@ -58,7 +58,7 @@ class TmRunResult:
     samples: List[DisambiguationSample] = field(default_factory=list)
 
 
-class TmSystem:
+class TmSystem(SpecSystemCore):
     """An 8-processor (by default) TM machine running one scheme."""
 
     def __init__(
@@ -72,34 +72,18 @@ class TmSystem:
     ) -> None:
         if not traces:
             raise SimulationError("a TM system needs at least one thread trace")
-        self.params = params
         self.scheme = scheme
         self.memory = WordMemory()
-        #: Observability hooks — strictly read-only with respect to the
-        #: simulation; ``None`` halves cost one pointer check per event.
-        self.metrics = obs.metrics if obs is not None else None
-        self.tracer = obs.tracer if obs is not None else None
-        self.bus = Bus(
-            commit_occupancy_cycles=params.commit_occupancy_cycles,
-            bytes_per_cycle=params.bus_bytes_per_cycle,
-            metrics=self.metrics,
-            tracer=self.tracer,
-        )
+        # Bus, observability unpacking, and the shared instruments
+        # (tm.commits / tm.commit_packet_bytes / tm.txn_cycles) come from
+        # the substrate core; only TM-specific counters are wired here.
+        self._init_spec_core(params, obs, prefix="tm", unit_timer="tm.txn_cycles")
         if self.metrics is not None:
-            self._m_commits = self.metrics.counter("tm.commits")
             self._m_txn_begins = self.metrics.counter("tm.txn_begins")
             self._m_overflow = self.metrics.counter("tm.overflow_accesses")
-            self._m_packet = self.metrics.histogram("tm.commit_packet_bytes")
-            self._m_txn_cycles = self.metrics.timer("tm.txn_cycles")
         else:
-            self._m_commits = None
             self._m_txn_begins = None
             self._m_overflow = None
-            self._m_packet = None
-            self._m_txn_cycles = None
-        #: pid -> clock at which its open transaction began (observability
-        #: only; feeds the ``tm.txn_cycles`` timer).
-        self._txn_begin_clock: Dict[int, int] = {}
         self.stats = TmStats()
         self.processors: List[TmProcessor] = [
             TmProcessor(pid, trace, params.geometry)
@@ -141,13 +125,11 @@ class TmSystem:
 
     def run(self) -> TmRunResult:
         """Execute every trace to completion and return the results."""
-        if self.tracer is not None:
-            self.tracer.set_context(sim="tm", scheme=self.scheme.name)
-            self.tracer.emit(
-                "run.begin",
-                processors=len(self.processors),
-                events=sum(len(p.trace.events) for p in self.processors),
-            )
+        self.trace_run_begin(
+            "tm",
+            processors=len(self.processors),
+            events=sum(len(p.trace.events) for p in self.processors),
+        )
         scheduler = MinClockScheduler(self.metrics)
         self._scheduler = scheduler
         for proc in self.processors:
@@ -177,13 +159,7 @@ class TmSystem:
             )
         self.stats.cycles = max(proc.clock for proc in self.processors)
         self.stats.bandwidth = self.bus.bandwidth
-        if self.tracer is not None:
-            self.tracer.emit(
-                "run.end",
-                cycles=self.stats.cycles,
-                commits=self.stats.committed_transactions,
-                squashes=self.stats.squashes,
-            )
+        self.trace_run_end()
         return TmRunResult(
             scheme=self.scheme.name,
             cycles=self.stats.cycles,
@@ -228,7 +204,7 @@ class TmSystem:
             proc.clock += self.params.begin_overhead_cycles
             if self._m_txn_begins is not None:
                 self._m_txn_begins.inc()
-                self._txn_begin_clock[proc.pid] = proc.clock
+            self.start_unit_timer(proc.pid, proc.clock)
             if self.tracer is not None:
                 self.tracer.emit(
                     "txn.begin",
@@ -501,8 +477,7 @@ class TmSystem:
         txn = proc.txn
         assert txn is not None
         packet_bytes = self.scheme.commit_packet(self, proc)
-        commit_end = self.bus.acquire_commit(proc.clock, packet_bytes)
-        proc.clock = commit_end + self.params.commit_overhead_cycles
+        proc.clock = self.charge_commit_bus(proc.clock, packet_bytes)
         now = proc.clock
 
         self.stats.committed_transactions += 1
@@ -510,22 +485,14 @@ class TmSystem:
         self.stats.write_set_granules += len(txn.all_write_granules())
         if proc.has_overflow():
             self.stats.overflowed_transactions += 1
-        if self._m_commits is not None:
-            self._m_commits.inc()
-            self._m_packet.observe(packet_bytes)
-            begin_clock = self._txn_begin_clock.pop(proc.pid, None)
-            if begin_clock is not None:
-                self._m_txn_cycles.observe(now - begin_clock)
-        if self.tracer is not None:
-            self.tracer.emit(
-                "commit",
-                proc=proc.pid,
-                txn=txn.txn_id,
-                packet_bytes=packet_bytes,
-                category=BandwidthCategory.INV.value,
-                write_granules=len(txn.all_write_granules()),
-                clock=now,
-            )
+        self.note_commit(
+            packet_bytes,
+            proc.pid,
+            now,
+            proc=proc.pid,
+            txn=txn.txn_id,
+            write_granules=len(txn.all_write_granules()),
+        )
 
         committed_writes = txn.all_write_granules()
         updated_caches = {id(proc.cache)}
@@ -626,22 +593,16 @@ class TmSystem:
         self.stats.dependence_granules += dependence_granules
         per_proc = self.stats.squashes_by_processor
         per_proc[victim.pid] = per_proc.get(victim.pid, 0) + 1
-        if self.metrics is not None:
-            self.metrics.counter("tm.squashes").inc()
-            self.metrics.counter(f"tm.squashes.{cause}").inc()
-            if false_positive:
-                self.metrics.counter("tm.squashes.false_positive").inc()
-        if self.tracer is not None:
-            self.tracer.emit(
-                "squash",
-                victim=victim.pid,
-                txn=txn.txn_id,
-                cause=cause,
-                false_positive=false_positive,
-                dependence_granules=dependence_granules,
-                from_section=from_section,
-                clock=now,
-            )
+        self.note_squash(
+            cause,
+            count_false_positive=false_positive,
+            victim=victim.pid,
+            txn=txn.txn_id,
+            false_positive=false_positive,
+            dependence_granules=dependence_granules,
+            from_section=from_section,
+            clock=now,
+        )
 
         partial = self.params.partial_rollback and from_section > 0
         self.scheme.squash_cleanup(self, victim, from_section if partial else 0)
@@ -665,10 +626,9 @@ class TmSystem:
         victim.clock = max(victim.clock, now) + self.params.squash_overhead_cycles
         victim.epoch += 1
         victim.waiting_on = None
-        if self._m_txn_cycles is not None:
-            # The txn timer measures the *attempt* that commits; restart
-            # the measurement at the replay's start.
-            self._txn_begin_clock[victim.pid] = victim.clock
+        # The txn timer measures the *attempt* that commits; restart the
+        # measurement at the replay's start.
+        self.start_unit_timer(victim.pid, victim.clock)
         if self._scheduler is not None:
             self._scheduler.push(victim.clock, victim.pid, victim.epoch)
         self._release_waiters(victim, victim.clock)

@@ -1,0 +1,76 @@
+"""Golden-run pin: ``reproduce`` output is byte-identical across PRs.
+
+The full ``python -m repro reproduce`` pipeline — workload generation,
+all three substrates' grid points, figure/table rendering, CSV export,
+trace summaries, merged metrics, and the bandwidth reconciliation — is
+pinned by SHA-256 over every artifact of one fixed invocation.  Any
+refactor that changes a single byte of any result, any header, the
+trace schema, or a metric name fails here with the artifact named.
+
+If a change is *supposed* to alter output (a new scheme, a new column),
+regenerate the manifest with the invocation below and update it in the
+same commit, calling the change out in the commit message:
+
+    python -m repro reproduce --out DIR --no-cache \
+        --tm-txns 4 --tls-tasks 40 --samples 60 --seed 11 --jobs 2 \
+        --trace-out DIR/trace.jsonl --metrics-out DIR/metrics.json
+    (cd DIR && sha256sum *.csv *.txt *.json *.jsonl)
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_MANIFEST = {
+    "fig10.csv": "8faefb6f89691371a71b484122b98d249799808d33cd876dd49a0155d16b0bde",
+    "fig10.txt": "705d3064208b5b6696e75141fb341f89845af26de3f180d671647907cf08c435",
+    "fig11.csv": "0faf4919cad315ebc7d9d1a3aed505ae9a86ffcc05cd7e08035e924b8653fce4",
+    "fig11.txt": "8879d56c587b66c8ec3195de0728d901f0de3055af129b01e10af54320ff6df1",
+    "fig13.csv": "b2f1e15bdb2108943b27e964d22e9bce4571c6bb3d6d38d19db728ab0954032b",
+    "fig13.txt": "0e6eb36443a7aa4ec600885b66f3eb2646e61e15e2b8028d239559169fd7ea0a",
+    "fig14.csv": "a0e08c36a04cb382189ba33bd087225827e33cc5ad3f1eddc6b9d4d306f11db0",
+    "fig14.txt": "e89bc025f01546a73d98c822dcdbc1d9009cf97c113d0fe58ddf41e642f79f1e",
+    "fig15.csv": "10f845198903793ce532fbb58c76801b157aa452be11ae6b3926f455b76ec217",
+    "fig15.txt": "cdaf9a82fad418f767b4e2c7e6d7f1591518942c9cae11ab368129edcd38b0ab",
+    "metrics.json": "620842aa996beb0ca571c415f789a3689e6b8cdb0b80a4d380496a21c1f09f1f",
+    "reconciliation.txt": "0b373889791cfd919c96468d7e7ad7c1f2ddd4461011246d19aa3785dc261fe8",
+    "table6.csv": "df869534ba0260cdcd4d24bee39be2bcea5fb33db08e6aa85b7a556feee452b0",
+    "table6.txt": "f3f56c5174a1ed72c18bb7ec48d7436986b50c347ae1732612e46ccd6f3b4ec3",
+    "table7.csv": "bf49e82b0b504fd47930face2f53a85b16e2fb624b62a81b2177fd32315360bb",
+    "table7.txt": "974fd01ff8fc2c9e64fd3ba5ace4b7e8d607e9cf104cc2403d6d77783b35d8ea",
+    "table8.csv": "e316c629b1dfbd40a394fe6ee9e1cf893f3b64830caa65440de006646b63c981",
+    "table8.txt": "f78b81b2425d3368a8b4c5c24cc42ece118e42b3bd1461afe693a46592f6c47b",
+    "trace.jsonl": "2724bbe6c8a4a4ce7879852490285ea2d15ad187e59ba99bd24f69229d95495a",
+}
+
+
+@pytest.fixture(scope="module")
+def golden_run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("golden")
+    code = main([
+        "reproduce", "--out", str(out), "--no-cache",
+        "--tm-txns", "4", "--tls-tasks", "40", "--samples", "60",
+        "--seed", "11", "--jobs", "2",
+        "--trace-out", str(out / "trace.jsonl"),
+        "--metrics-out", str(out / "metrics.json"),
+    ])
+    assert code == 0
+    return out
+
+
+def test_every_golden_artifact_exists(golden_run):
+    missing = [
+        name for name in GOLDEN_MANIFEST if not (golden_run / name).is_file()
+    ]
+    assert missing == []
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_MANIFEST))
+def test_artifact_is_byte_identical_to_golden(golden_run, name):
+    digest = hashlib.sha256((golden_run / name).read_bytes()).hexdigest()
+    assert digest == GOLDEN_MANIFEST[name], (
+        f"{name} diverged from the golden run — if intentional, "
+        "regenerate the manifest (see module docstring)"
+    )

@@ -9,13 +9,15 @@
 import pytest
 
 import repro.runner.grid as grid_module
-from repro.runner import GridRunner, tls_point, tm_point
+from repro.runner import GridRunner, checkpoint_point, tls_point, tm_point
 
 GRID = [
     tm_point("mc", seed=11, txns_per_thread=3),
     tm_point("cb", seed=11, txns_per_thread=3),
     tls_point("gzip", seed=11, num_tasks=30),
     tls_point("mcf", seed=11, num_tasks=30),
+    checkpoint_point("predictor", seed=11, num_epochs=16),
+    checkpoint_point("hotset", seed=11, num_epochs=16, rollback_depth=2),
 ]
 
 
