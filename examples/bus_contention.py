@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Bus contention under arbitration latency: the bank, on a timed bus.
+
+The transactional bank of ``tm_bank.py`` re-run on the timed
+interconnect model while the arbitration latency sweeps upward.  The
+example shows:
+
+* every transfer still commits at every latency — arbitration delay
+  re-times conflicts (squash and retry patterns shift, so traffic and
+  cycles wobble) but never loses work;
+* queueing delay at the arbiter grows with the configured latency;
+* the contention counters (wait cycles, queue depth, utilisation) that
+  the legacy synchronous bus cannot observe.
+
+Run:  python examples/bus_contention.py
+"""
+
+import os
+import sys
+from dataclasses import replace
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from tm_bank import build_traces  # noqa: E402
+
+from repro.interconnect import InterconnectConfig  # noqa: E402
+from repro.tm.bulk import BulkScheme  # noqa: E402
+from repro.tm.params import TM_DEFAULTS  # noqa: E402
+from repro.tm.system import TmSystem  # noqa: E402
+
+LATENCIES = [0, 2, 4, 8, 16]
+
+
+def run_with_latency(latency: int):
+    params = replace(
+        TM_DEFAULTS,
+        interconnect=InterconnectConfig.parse(f"timed:latency={latency}"),
+    )
+    return TmSystem(build_traces(), BulkScheme(), params).run()
+
+
+def main() -> None:
+    print(f"{'latency':>7s} {'cycles':>8s} {'commits':>8s} {'waitCyc':>8s} "
+          f"{'avgWait':>8s} {'maxQ':>5s} {'util%':>6s} {'totalB':>8s}")
+    results = [(latency, run_with_latency(latency)) for latency in LATENCIES]
+    for latency, result in results:
+        stats = result.stats
+        print(
+            f"{latency:7d} {result.cycles:8d} "
+            f"{stats.committed_transactions:8d} "
+            f"{stats.bus_wait_cycles:8d} {stats.bus_avg_wait:8.2f} "
+            f"{stats.bus_max_queue_depth:5d} "
+            f"{stats.bus_utilisation_percent:6.2f} "
+            f"{stats.bandwidth.total_bytes:8d}"
+        )
+
+    for latency, result in results:
+        # Arbitration delay re-times conflicts but never loses work:
+        # every planned transfer commits at every latency.
+        assert result.stats.committed_transactions == 8 * 20
+    waits = [result.stats.bus_wait_cycles for _, result in results]
+    assert waits == sorted(waits), "queueing delay grows with latency"
+    print("\nevery transfer commits at every latency; the counters above "
+          "are what the synchronous bus could never report.")
+
+
+if __name__ == "__main__":
+    main()

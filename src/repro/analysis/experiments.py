@@ -18,6 +18,7 @@ from repro.analysis.bandwidth import commit_bandwidth_ratio, normalized_breakdow
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
 from repro.checkpoint.params import CHECKPOINT_DEFAULTS, CheckpointParams
+from repro.interconnect import InterconnectConfig
 from repro.checkpoint.stats import CheckpointStats
 from repro.checkpoint.system import CheckpointSystem
 from repro.checkpoint.workload import build_checkpoint_workload
@@ -30,6 +31,18 @@ from repro.tm.stats import TmStats
 from repro.tm.system import DisambiguationSample, TmSystem
 from repro.workloads.kernels import build_tm_workload
 from repro.workloads.tls_spec import build_tls_workload
+
+
+def _apply_bus(params, bus: Optional[str]):
+    """Overlay a ``--bus-model`` spec string onto substrate parameters.
+
+    ``None`` (the default everywhere) leaves ``params`` untouched — the
+    object identity is preserved so default runs cannot diverge from the
+    golden artifacts through an accidental re-construction.
+    """
+    if bus is None:
+        return params
+    return replace(params, interconnect=InterconnectConfig.parse(bus))
 
 
 @dataclass
@@ -97,6 +110,7 @@ def run_tm_comparison(
     include_partial: bool = False,
     collect_samples: bool = False,
     obs: "Optional[Observability]" = None,
+    bus: Optional[str] = None,
 ) -> TmComparison:
     """Run one TM application under every scheme.
 
@@ -107,7 +121,12 @@ def run_tm_comparison(
     ``obs`` (optional) instruments every per-scheme run with the shared
     metrics registry and event tracer; each run stamps its own
     ``scheme=...`` context so the merged stream stays attributable.
+
+    ``bus`` (optional) is an interconnect spec string such as
+    ``"timed:latency=4,policy=round-robin"`` selecting the timed bus
+    model for every per-scheme run; ``None`` keeps the legacy bus.
     """
+    params = _apply_bus(params, bus)
     comparison = TmComparison(app=app)
     for entry in scheme_entries("tm", include_variants=include_partial):
         traces = build_tm_workload(
@@ -157,8 +176,14 @@ def run_tls_comparison(
     params: TlsParams = TLS_DEFAULTS,
     schemes: Optional[List[str]] = None,
     obs: "Optional[Observability]" = None,
+    bus: Optional[str] = None,
 ) -> TlsComparison:
-    """Run one TLS application under every registered TLS scheme."""
+    """Run one TLS application under every registered TLS scheme.
+
+    ``bus`` (optional) selects the interconnect model by spec string;
+    ``None`` keeps the legacy synchronous bus.
+    """
+    params = _apply_bus(params, bus)
     if schemes is None:
         schemes = list(scheme_names("tls"))
     comparison = TlsComparison(app=app)
@@ -202,12 +227,15 @@ def run_checkpoint_comparison(
     rollback_depth: int = 1,
     params: CheckpointParams = CHECKPOINT_DEFAULTS,
     obs: "Optional[Observability]" = None,
+    bus: Optional[str] = None,
 ) -> CheckpointComparison:
     """Run one checkpoint workload under every registered scheme.
 
     Every scheme consumes a freshly built (identical) epoch stream at the
     same rollback depth, so cycle and bandwidth ratios are meaningful.
+    ``bus`` (optional) selects the interconnect model by spec string.
     """
+    params = _apply_bus(params, bus)
     comparison = CheckpointComparison(app=app, rollback_depth=rollback_depth)
     for name in scheme_names("checkpoint"):
         epochs = build_checkpoint_workload(app, num_epochs=num_epochs, seed=seed)

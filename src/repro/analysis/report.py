@@ -133,6 +133,53 @@ def reconciliation_ok(rows: Sequence[Sequence[object]]) -> bool:
     return all(row[-1] == "OK" for row in rows)
 
 
+CONTENTION_HEADERS = [
+    "Scheme",
+    "Grants",
+    "Requests",
+    "WaitCyc",
+    "AvgWait",
+    "MaxQ",
+    "BusyCyc",
+    "Util%",
+]
+
+
+def contention_rows(stats_by_scheme: Dict[str, Any]) -> List[List[object]]:
+    """Per-scheme interconnect contention rows (timed bus model).
+
+    ``stats_by_scheme`` maps scheme names to any
+    :class:`~repro.spec.stats.SpecStats`-derived object; the row set is
+    all zeros under the legacy bus, which is why callers only print it
+    for timed configurations.
+    """
+    rows: List[List[object]] = []
+    for scheme, stats in stats_by_scheme.items():
+        rows.append(
+            [
+                scheme,
+                stats.bus_grants,
+                stats.bus_requests,
+                stats.bus_wait_cycles,
+                stats.bus_avg_wait,
+                stats.bus_max_queue_depth,
+                stats.bus_busy_cycles,
+                stats.bus_utilisation_percent,
+            ]
+        )
+    return rows
+
+
+def render_contention(
+    stats_by_scheme: Dict[str, Any],
+    title: str = "Interconnect contention",
+) -> str:
+    """The contention rows as an ASCII table."""
+    return render_table(
+        CONTENTION_HEADERS, contention_rows(stats_by_scheme), title=title
+    )
+
+
 def render_bars(
     series: Dict[str, Number],
     width: int = 50,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.cache.geometry import CacheGeometry, TM_L1_GEOMETRY
 from repro.core.signature_config import SignatureConfig, default_tm_config
+from repro.interconnect.config import DEFAULT_INTERCONNECT, InterconnectConfig
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,8 @@ class CheckpointParams:
     commit_occupancy_cycles: int = 10
     #: Bus transfer rate for converting packet bytes into occupancy.
     bus_bytes_per_cycle: int = 16
+    #: Interconnect timing model (legacy synchronous bus by default).
+    interconnect: InterconnectConfig = DEFAULT_INTERCONNECT
 
 
 #: The default checkpoint configuration (TM cache/bus, 4 checkpoints).

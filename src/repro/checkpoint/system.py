@@ -124,7 +124,7 @@ class CheckpointSystem(SpecSystemCore):
         while self.engine.depth:
             self._commit_oldest()
         self.stats.cycles = self.clock
-        self.stats.bandwidth = self.bus.bandwidth
+        self.finalize_bus_stats()
         self.trace_run_end()
         return self.stats
 
@@ -159,30 +159,34 @@ class CheckpointSystem(SpecSystemCore):
             )
             if kind == "load":
                 if not hit:
-                    self.bus.record(MessageKind.FILL)
+                    self.bus.record(MessageKind.FILL, now=self.clock, port=0)
                     victim = engine.cache.fill(
                         line_address, engine.line_view(line_address)
                     )
                     if victim is not None and victim.dirty:
-                        self.bus.record(MessageKind.WRITEBACK)
+                        self.bus.record(
+                            MessageKind.WRITEBACK, now=self.clock, port=0
+                        )
                 engine.load(byte_address)
                 record.read_words.add(byte_to_word(byte_address))
             else:
                 if not hit:
                     # The engine fills the line itself; the system only
                     # charges the fill traffic.
-                    self.bus.record(MessageKind.FILL)
+                    self.bus.record(MessageKind.FILL, now=self.clock, port=0)
                 writebacks_before = engine.safe_writebacks
                 engine.store(byte_address, value)
                 for _ in range(engine.safe_writebacks - writebacks_before):
-                    self.bus.record(MessageKind.WRITEBACK)
+                    self.bus.record(
+                        MessageKind.WRITEBACK, now=self.clock, port=0
+                    )
                     self.stats.safe_writebacks += 1
                 record.write_words.add(byte_to_word(byte_address))
 
     def _commit_oldest(self) -> None:
         record = self._live.pop(0)
         packet_bytes = self.scheme.commit_packet(self, record)
-        self.clock = self.charge_commit_bus(self.clock, packet_bytes)
+        self.clock = self.charge_commit_bus(self.clock, packet_bytes, port=0)
         committed_lines = record.write_lines
         for live in self._live:
             committed_lines -= live.write_lines
@@ -193,7 +197,7 @@ class CheckpointSystem(SpecSystemCore):
         for line_address in sorted(committed_lines):
             line = self.engine.cache.lookup(line_address, touch=False)
             if line is not None and line.dirty:
-                self.bus.record(MessageKind.WRITEBACK)
+                self.bus.record(MessageKind.WRITEBACK, now=self.clock, port=0)
                 self.engine.cache.clean(line_address)
         self.stats.committed_checkpoints += 1
         self.stats.read_set_words += len(record.read_words)

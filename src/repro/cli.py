@@ -30,11 +30,13 @@ from repro.analysis.report import (
     reconciliation_ok,
     render_bandwidth_reconciliation,
     render_bars,
+    render_contention,
     render_csv,
     render_table,
 )
 from repro.checkpoint.workload import CHECKPOINT_WORKLOADS
 from repro.core.signature_config import TABLE8_CONFIGS
+from repro.interconnect import BUS_MODELS, POLICIES, InterconnectConfig
 from repro.spec import scheme_names
 from repro.workloads.kernels import TM_KERNELS
 from repro.workloads.tls_spec import TLS_APPLICATIONS
@@ -43,6 +45,50 @@ from repro.workloads.tls_spec import TLS_APPLICATIONS
 def _warn_stderr(message: str) -> None:
     """The CLI's warning sink (kept separate so tests can capture it)."""
     print(f"warning: {message}", file=sys.stderr)
+
+
+def _add_bus_arguments(parser: argparse.ArgumentParser) -> None:
+    """The interconnect flags, shared by every simulation subcommand."""
+    group = parser.add_argument_group("interconnect")
+    group.add_argument(
+        "--bus-model", choices=BUS_MODELS, default="legacy",
+        help="bus timing model (default: legacy synchronous bus; any "
+        "non-default --bus-* knob implies 'timed')",
+    )
+    group.add_argument(
+        "--bus-latency", type=int, default=0, metavar="CYCLES",
+        help="request-to-grant arbitration latency (timed model)",
+    )
+    group.add_argument(
+        "--bus-policy", choices=sorted(POLICIES), default="fifo",
+        help="arbitration policy for simultaneously pending requests",
+    )
+    group.add_argument(
+        "--bus-window", type=int, default=0, metavar="N",
+        help="max in-flight non-commit messages (0 = unbounded)",
+    )
+
+
+def _bus_spec(args: argparse.Namespace) -> Optional[str]:
+    """The canonical interconnect spec of the ``--bus-*`` flags.
+
+    ``None`` when every flag is at its default — callers then pass *no*
+    bus knob at all, keeping grid-point keys, cache keys, and therefore
+    the golden artifacts byte-identical to pre-interconnect builds.  Any
+    non-default knob implies the timed model.
+    """
+    model = getattr(args, "bus_model", "legacy")
+    latency = getattr(args, "bus_latency", 0)
+    policy = getattr(args, "bus_policy", "fifo")
+    window = getattr(args, "bus_window", 0)
+    if model == "legacy" and latency == 0 and policy == "fifo" and window == 0:
+        return None
+    return InterconnectConfig(
+        model="timed",
+        arbitration_latency=latency,
+        policy=policy,
+        max_in_flight=window,
+    ).spec()
 
 
 def _open_observability(args: argparse.Namespace) -> Tuple[Any, Any]:
@@ -108,12 +154,14 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _cmd_tm(args: argparse.Namespace) -> int:
     obs, writer = _open_observability(args)
+    bus = _bus_spec(args)
     comparison = run_tm_comparison(
         args.app,
         txns_per_thread=args.txns,
         seed=args.seed,
         include_partial=args.partial,
         obs=obs,
+        bus=bus,
     )
     rows = []
     for scheme in scheme_names("tm", include_variants=args.partial):
@@ -140,6 +188,10 @@ def _cmd_tm(args: argparse.Namespace) -> int:
     ratio = comparison.commit_bandwidth_vs_lazy()
     print("\ncommit bandwidth Bulk/Lazy: "
           + ("n/a" if math.isnan(ratio) else f"{ratio:.1f}%"))
+    if bus is not None:
+        print()
+        print(render_contention(comparison.stats,
+                                title=f"Interconnect contention ({bus})"))
     if obs is not None:
         return _finish_observability(args, obs, writer, comparison.stats)
     return 0
@@ -147,8 +199,9 @@ def _cmd_tm(args: argparse.Namespace) -> int:
 
 def _cmd_tls(args: argparse.Namespace) -> int:
     obs, writer = _open_observability(args)
+    bus = _bus_spec(args)
     comparison = run_tls_comparison(
-        args.app, num_tasks=args.tasks, seed=args.seed, obs=obs
+        args.app, num_tasks=args.tasks, seed=args.seed, obs=obs, bus=bus
     )
     rows = []
     for scheme in scheme_names("tls"):
@@ -173,6 +226,10 @@ def _cmd_tls(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if bus is not None:
+        print()
+        print(render_contention(comparison.stats,
+                                title=f"Interconnect contention ({bus})"))
     if obs is not None:
         return _finish_observability(args, obs, writer, comparison.stats)
     return 0
@@ -206,12 +263,15 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         print(f"error: cache directory {args.cache_dir} is not a directory",
               file=sys.stderr)
         return 2
+    bus = _bus_spec(args)
+    extra_knobs = {} if bus is None else {"bus": bus}
     points = {
         depth: checkpoint_point(
             args.app,
             seed=args.seed,
             num_epochs=args.epochs,
             rollback_depth=depth,
+            **extra_knobs,
         )
         for depth in range(1, args.max_depth + 1)
     }
@@ -250,6 +310,13 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         ratio = merged.comparison(point).commit_bandwidth_vs_exact()
         print(f"depth {depth}: commit bandwidth Bulk/Exact: "
               + ("n/a" if math.isnan(ratio) else f"{ratio:.1f}%"))
+    if bus is not None:
+        for depth, point in points.items():
+            print()
+            print(render_contention(
+                merged.comparison(point).stats,
+                title=f"Interconnect contention (depth {depth}, {bus})",
+            ))
 
     if observability:
         if args.metrics_out:
@@ -342,8 +409,12 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         print(f"error: cache directory {cache_dir} is not a directory",
               file=sys.stderr)
         return 2
+    bus = _bus_spec(args)
+    extra_knobs = {} if bus is None else {"bus": bus}
     tls_points = {
-        app: tls_point(app, seed=args.seed, num_tasks=args.tls_tasks)
+        app: tls_point(
+            app, seed=args.seed, num_tasks=args.tls_tasks, **extra_knobs
+        )
         for app in sorted(TLS_APPLICATIONS)
     }
     tm_points = {
@@ -352,6 +423,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             seed=args.seed,
             txns_per_thread=args.tm_txns,
             include_partial=True,
+            **extra_knobs,
         )
         for app in sorted(TM_KERNELS)
     }
@@ -451,6 +523,19 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
                                      "Table 8: signature catalogue"))
     write("table8.csv", render_csv(t8_headers, t8_rows))
 
+    # Interconnect contention (timed bus model only) -----------------------
+    if bus is not None:
+        sections = []
+        for app in sorted(tls):
+            sections.append(render_contention(
+                tls[app].stats, title=f"tls:{app} ({bus})"
+            ))
+        for app in sorted(tm):
+            sections.append(render_contention(
+                tm[app].stats, title=f"tm:{app} ({bus})"
+            ))
+        write("contention.txt", "\n\n".join(sections))
+
     # Observability artifacts ----------------------------------------------
     if observability:
         if args.metrics_out:
@@ -517,6 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the full event trace as JSONL")
     tm.add_argument("--metrics-out", default=None, metavar="PATH",
                     help="write the metrics snapshot as JSON")
+    _add_bus_arguments(tm)
     tm.set_defaults(func=_cmd_tm)
 
     tls = sub.add_parser("tls", help="run one TLS workload under every scheme")
@@ -527,6 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the full event trace as JSONL")
     tls.add_argument("--metrics-out", default=None, metavar="PATH",
                     help="write the metrics snapshot as JSON")
+    _add_bus_arguments(tls)
     tls.set_defaults(func=_cmd_tls)
 
     checkpoint = sub.add_parser(
@@ -550,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
     checkpoint.add_argument("--metrics-out", default=None, metavar="PATH",
                             help="write merged + per-point metrics as JSON "
                             "(enables instrumentation)")
+    _add_bus_arguments(checkpoint)
     checkpoint.set_defaults(func=_cmd_checkpoint)
 
     accuracy = sub.add_parser(
@@ -590,6 +678,7 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--metrics-out", default=None, metavar="PATH",
                            help="write merged + per-point metrics as JSON "
                            "(enables instrumentation)")
+    _add_bus_arguments(reproduce)
     reproduce.set_defaults(func=_cmd_reproduce)
 
     return parser

@@ -52,12 +52,23 @@ class BandwidthBreakdown:
         return self.by_category[category]
 
     def merge(self, other: "BandwidthBreakdown") -> None:
-        """Accumulate another breakdown into this one."""
+        """Accumulate another breakdown into this one.
+
+        Tolerant of key skew in either operand: a breakdown deserialized
+        from an older on-disk cache entry may lack categories or message
+        kinds that exist today (or carry ones this process pre-filled
+        and the other did not), and must still merge instead of raising
+        ``KeyError``.
+        """
         for category, amount in other.by_category.items():
-            self.by_category[category] += amount
+            self.by_category[category] = (
+                self.by_category.get(category, 0) + amount
+            )
         self.commit_bytes += other.commit_bytes
         for kind, count in other.message_counts.items():
-            self.message_counts[kind] += count
+            self.message_counts[kind] = (
+                self.message_counts.get(kind, 0) + count
+            )
 
 
 class Bus:
@@ -115,8 +126,19 @@ class Bus:
         kind: MessageKind,
         payload_bytes: int = 0,
         is_commit_traffic: bool = False,
+        now: Optional[int] = None,
+        port: Optional[int] = None,
     ) -> int:
-        """Account one message; returns its size in bytes."""
+        """Account one message; returns its size in bytes.
+
+        ``now`` (the sender's clock) and ``port`` (the sender's
+        processor id) describe *when and from where* the message entered
+        the interconnect.  The synchronous bus ignores both — its
+        transfers are instantaneous broadcasts — but the timed model
+        (:class:`~repro.interconnect.timed.TimedBus`) uses them to drive
+        the transfer pipeline and per-port contention accounting.  Call
+        sites that have no natural clock may omit them.
+        """
         size = message_bytes(kind, payload_bytes)
         category = CATEGORY_OF_KIND[kind]
         self.bandwidth.by_category[category] += size
@@ -142,11 +164,15 @@ class Bus:
     # Commit arbitration
     # ------------------------------------------------------------------
 
-    def acquire_commit(self, request_time: int, packet_bytes: int) -> int:
+    def acquire_commit(
+        self, request_time: int, packet_bytes: int, port: int = 0
+    ) -> int:
         """Serialise a commit: returns the cycle at which it completes.
 
         The commit occupies the bus from ``max(request_time, bus free)``
-        for its transfer time plus the fixed occupancy.
+        for its transfer time plus the fixed occupancy.  ``port``
+        identifies the requester; the synchronous bus grants instantly
+        regardless, the timed model arbitrates and accounts per port.
         """
         start = max(request_time, self._bus_free_at)
         transfer = -(-packet_bytes // self.bytes_per_cycle)  # ceil division

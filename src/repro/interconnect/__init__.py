@@ -1,0 +1,88 @@
+"""Timed interconnect: queued, pipelined bus with arbitration latency.
+
+The subsystem replaces the synchronous broadcast-bus timing model with a
+two-stage timed one — request/grant arbitration in front of serialised
+commit transfers, and a bounded-occupancy transfer pipeline for
+non-commit traffic — behind the same ``Bus`` interface the substrates
+already use.  :func:`build_bus` is the single construction seam:
+:class:`~repro.spec.system.SpecSystemCore` calls it with the substrate's
+:class:`InterconnectConfig` and gets back either the legacy
+:class:`~repro.coherence.bus.Bus` (the byte-identical default) or a
+:class:`TimedBus`.
+
+Layering: ``interconnect`` sits beside ``coherence`` (it imports the
+legacy ``Bus`` to subclass it) and below ``spec`` — substrates never
+import the timed model directly, only the factory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.coherence.bus import Bus
+from repro.interconnect.arbiter import (
+    POLICIES,
+    ArbitrationPolicy,
+    BusRequest,
+    FifoPolicy,
+    RoundRobinPolicy,
+    SmallestFirstPolicy,
+    resolve_policy,
+)
+from repro.interconnect.config import (
+    BUS_MODELS,
+    DEFAULT_INTERCONNECT,
+    InterconnectConfig,
+)
+from repro.interconnect.timed import GrantRecord, TimedBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import EventTracer
+
+
+def build_bus(
+    config: InterconnectConfig,
+    commit_occupancy_cycles: int = 10,
+    bytes_per_cycle: int = 16,
+    metrics: "Optional[MetricsRegistry]" = None,
+    tracer: "Optional[EventTracer]" = None,
+) -> Union[Bus, TimedBus]:
+    """The bus instance a configuration asks for.
+
+    ``legacy`` builds the synchronous :class:`Bus` exactly as before —
+    same type, same constructor arguments — so default runs cannot
+    diverge from the golden artifacts.  ``timed`` builds a
+    :class:`TimedBus` carrying the arbitration and pipeline knobs.
+    """
+    if config.is_legacy:
+        return Bus(
+            commit_occupancy_cycles=commit_occupancy_cycles,
+            bytes_per_cycle=bytes_per_cycle,
+            metrics=metrics,
+            tracer=tracer,
+        )
+    return TimedBus(
+        config,
+        commit_occupancy_cycles=commit_occupancy_cycles,
+        bytes_per_cycle=bytes_per_cycle,
+        metrics=metrics,
+        tracer=tracer,
+    )
+
+
+__all__ = [
+    "ArbitrationPolicy",
+    "BUS_MODELS",
+    "BusRequest",
+    "DEFAULT_INTERCONNECT",
+    "FifoPolicy",
+    "GrantRecord",
+    "InterconnectConfig",
+    "POLICIES",
+    "RoundRobinPolicy",
+    "SmallestFirstPolicy",
+    "TimedBus",
+    "build_bus",
+    "resolve_policy",
+]

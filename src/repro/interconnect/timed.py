@@ -1,0 +1,307 @@
+"""The queued, pipelined bus model.
+
+:class:`TimedBus` is a drop-in replacement for the synchronous
+:class:`~repro.coherence.bus.Bus` (same accounting, same trace events,
+same ``acquire_commit`` contract) that additionally models *time under
+contention* in two stages:
+
+**Arbitration + commit transfer.**  A commit request entering at cycle
+``t`` waits ``arbitration_latency`` cycles for its grant, longer if the
+bus is still occupied by an earlier transfer.  Requests pending at the
+same grant boundary are ordered by the configured
+:mod:`~repro.interconnect.arbiter` policy.  Grants never overlap:
+commit ``i``'s transfer ends before commit ``i+1``'s begins, preserving
+the paper's commit serialisation ("it first obtains permission to
+commit", Section 4.1) while now charging the queueing delay.
+
+**Transfer pipeline.**  Non-commit traffic (fills, writebacks,
+invalidations, coherence messages) streams through a split-transaction
+pipeline: injection beats issue back-to-back (one message per cycle,
+no per-message arbitration), and each message then stays *in flight*
+for ``ceil(size / bytes_per_cycle)`` cycles until its transfer drains.
+``max_in_flight`` bounds the number of concurrently draining messages
+(0 = unbounded): a message arriving while the window is full stalls at
+the injection port until enough older transfers drain.  Pipeline timing
+is purely observational — :meth:`record` returns the accounted size,
+never a clock — so these knobs shift contention counters, not results.
+
+Everything the legacy bus accounts (bandwidth categories, commit bytes,
+``bus.msg`` trace events) is produced by the *same inherited code
+paths*, so trace-vs-breakdown reconciliation stays exact.  On top, the
+timed model keeps contention counters — wait cycles, grant count, busy
+cycles, queue depths, all per port where meaningful — surfaced through
+:mod:`repro.obs` (``bus.wait_cycles``, ``bus.grants``,
+``bus.busy_cycles`` counters and the ``bus.queue_depth`` histogram) and
+through :meth:`contention_summary` for the report layer.
+
+All quantities are simulated cycles and byte counts — the model is
+deterministic and its outputs are byte-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.coherence.bus import Bus
+from repro.coherence.message import MessageKind
+from repro.interconnect.arbiter import BusRequest, resolve_policy
+from repro.interconnect.config import InterconnectConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import EventTracer
+
+
+@dataclass(frozen=True)
+class GrantRecord:
+    """One granted commit: the arbitration outcome, fully resolved."""
+
+    port: int
+    arrival: int
+    grant: int
+    end: int
+    payload_bytes: int
+    seq: int
+
+    @property
+    def wait(self) -> int:
+        """Cycles between the request and its grant."""
+        return self.grant - self.arrival
+
+
+class TimedBus(Bus):
+    """A queued, pipelined bus with arbitration latency."""
+
+    def __init__(
+        self,
+        config: InterconnectConfig,
+        commit_occupancy_cycles: int = 10,
+        bytes_per_cycle: int = 16,
+        metrics: "Optional[MetricsRegistry]" = None,
+        tracer: "Optional[EventTracer]" = None,
+    ) -> None:
+        super().__init__(
+            commit_occupancy_cycles=commit_occupancy_cycles,
+            bytes_per_cycle=bytes_per_cycle,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        self.config = config
+        self.policy = resolve_policy(config.policy)
+        self._seq = 0
+        self._pending: List[BusRequest] = []
+        #: Ends of granted commit transfers, ascending (grants serialise).
+        self._grant_ends: List[int] = []
+        #: Every grant, in grant order — the arbitration witness the
+        #: property tests check invariants over.
+        self.grant_log: List[GrantRecord] = []
+        # -- transfer pipeline (non-commit traffic) ---------------------
+        #: Cycle at which the injection port accepts the next message.
+        self._pipe_free = 0
+        #: Drain times of in-flight pipeline messages, ascending.
+        self._pipe_in_flight: List[int] = []
+        # -- contention accounting --------------------------------------
+        self.wait_cycles = 0
+        self.grants = 0
+        #: All timed requests: commit submissions + pipelined messages.
+        self.requests = 0
+        self.busy_cycles = 0
+        self.max_queue_depth = 0
+        self.wait_by_port: Dict[int, int] = {}
+        self.requests_by_port: Dict[int, int] = {}
+        if metrics is not None:
+            self._m_wait = metrics.counter("bus.wait_cycles")
+            self._m_grants = metrics.counter("bus.grants")
+            self._m_busy = metrics.counter("bus.busy_cycles")
+            self._m_depth = metrics.histogram("bus.queue_depth")
+        else:
+            self._m_wait = None
+            self._m_grants = None
+            self._m_busy = None
+            self._m_depth = None
+
+    # ------------------------------------------------------------------
+    # Arbitration stage (commits)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, port: int, request_time: int, packet_bytes: int
+    ) -> BusRequest:
+        """Queue one commit request without granting it yet.
+
+        Multi-requester drivers (and the property tests) submit a batch
+        and then :meth:`drain` it so the arbitration policy sees genuine
+        simultaneity; :meth:`acquire_commit` is the one-shot form.
+        """
+        request = BusRequest(
+            port=port,
+            arrival=request_time,
+            payload_bytes=packet_bytes,
+            seq=self._seq,
+        )
+        self._seq += 1
+        depth = self._queue_depth_at(request_time)
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        if self._m_depth is not None:
+            self._m_depth.observe(depth)
+        self.requests_by_port[port] = self.requests_by_port.get(port, 0) + 1
+        self._pending.append(request)
+        return request
+
+    def drain(self) -> List[GrantRecord]:
+        """Grant every pending request, in policy order."""
+        records = []
+        while self._pending:
+            records.append(self._grant_next())
+        return records
+
+    def acquire_commit(
+        self, request_time: int, packet_bytes: int, port: int = 0
+    ) -> int:
+        """Arbitrate one commit; returns the cycle its transfer ends."""
+        request = self.submit(port, request_time, packet_bytes)
+        for record in self.drain():
+            if record.seq == request.seq:
+                return record.end
+        raise AssertionError("submitted request was not granted")
+
+    def _grant_next(self) -> GrantRecord:
+        index = self.policy.select(self._pending)
+        request = self._pending.pop(index)
+        grant = max(
+            request.arrival + self.config.arbitration_latency,
+            self._bus_free_at,
+        )
+        transfer = self.commit_occupancy_cycles + (
+            -(-request.payload_bytes // self.bytes_per_cycle)
+        )
+        end = grant + transfer
+        self._bus_free_at = end
+        insort(self._grant_ends, end)
+        self.policy.granted(request)
+        record = GrantRecord(
+            port=request.port,
+            arrival=request.arrival,
+            grant=grant,
+            end=end,
+            payload_bytes=request.payload_bytes,
+            seq=request.seq,
+        )
+        self.grant_log.append(record)
+        self._note_wait(request.port, record.wait, transfer)
+        self.grants += 1
+        if self._m_grants is not None:
+            self._m_grants.inc()
+        if self._tracer is not None:
+            self._tracer.emit(
+                "bus.grant",
+                port=request.port,
+                wait=record.wait,
+                grant=grant,
+                end=end,
+                bytes=request.payload_bytes,
+            )
+        return record
+
+    def _queue_depth_at(self, arrival: int) -> int:
+        """Requests ahead of one arriving at ``arrival``: still pending,
+        or granted but not yet off the bus."""
+        in_flight = len(self._grant_ends) - bisect_right(
+            self._grant_ends, arrival
+        )
+        return len(self._pending) + in_flight
+
+    def _note_wait(self, port: int, wait: int, busy: int) -> None:
+        self.requests += 1
+        self.wait_cycles += wait
+        self.busy_cycles += busy
+        self.wait_by_port[port] = self.wait_by_port.get(port, 0) + wait
+        if self._m_wait is not None:
+            self._m_wait.inc(wait)
+            self._m_busy.inc(busy)
+
+    # ------------------------------------------------------------------
+    # Transfer pipeline (non-commit traffic)
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        kind: MessageKind,
+        payload_bytes: int = 0,
+        is_commit_traffic: bool = False,
+        now: Optional[int] = None,
+        port: Optional[int] = None,
+    ) -> int:
+        """Account one message and stream it through the pipeline.
+
+        Accounting (bandwidth breakdown, metrics, ``bus.msg`` event) is
+        inherited unchanged, which is what keeps trace-vs-breakdown
+        reconciliation exact.  Commit traffic is *not* pipelined here —
+        its timing comes from :meth:`acquire_commit`.  A non-commit
+        message injects at the first free injection beat at or after its
+        arrival (beats issue back-to-back, one per cycle) and drains
+        ``ceil(size / bytes_per_cycle)`` cycles later; with a bounded
+        window, injection into a full window additionally stalls until
+        enough older transfers drain.
+        """
+        size = super().record(kind, payload_bytes, is_commit_traffic)
+        if is_commit_traffic:
+            return size
+        slots = -(-size // self.bytes_per_cycle)
+        arrival = self._pipe_free if now is None else now
+        flights = self._pipe_in_flight
+        drained = bisect_right(flights, arrival)
+        if drained:
+            del flights[:drained]
+        depth = len(flights)
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        if self._m_depth is not None:
+            self._m_depth.observe(depth)
+        start = max(arrival, self._pipe_free)
+        window = self.config.max_in_flight
+        if window and len(flights) >= window:
+            # The (len - window)-th drain time is the first cycle at
+            # which fewer than `window` transfers remain in flight.
+            start = max(start, flights[len(flights) - window])
+        self._pipe_free = start + 1
+        insort(flights, start + slots)
+        self._note_wait(0 if port is None else port, start - arrival, slots)
+        return size
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def contention_summary(self) -> Dict[str, object]:
+        """The contention counters as a JSON-able dictionary."""
+        return {
+            "grants": self.grants,
+            "requests": self.requests,
+            "wait_cycles": self.wait_cycles,
+            "busy_cycles": self.busy_cycles,
+            "max_queue_depth": self.max_queue_depth,
+            "wait_by_port": dict(sorted(self.wait_by_port.items())),
+            "requests_by_port": dict(sorted(self.requests_by_port.items())),
+        }
+
+    def reset(self) -> None:
+        """Clear accounting, arbitration, and pipeline state."""
+        super().reset()
+        self.policy.reset()
+        self._seq = 0
+        self._pending.clear()
+        self._grant_ends.clear()
+        self.grant_log.clear()
+        self._pipe_free = 0
+        self._pipe_in_flight.clear()
+        self.wait_cycles = 0
+        self.grants = 0
+        self.requests = 0
+        self.busy_cycles = 0
+        self.max_queue_depth = 0
+        self.wait_by_port.clear()
+        self.requests_by_port.clear()

@@ -21,6 +21,8 @@ from repro.runner.grid import (
     GridRunner,
     checkpoint_point,
     default_jobs,
+    execution_cost,
+    submission_order,
     tls_point,
     tm_point,
 )
@@ -44,6 +46,8 @@ __all__ = [
     "comparison_from_dict",
     "comparison_to_dict",
     "default_jobs",
+    "execution_cost",
+    "submission_order",
     "tls_point",
     "tm_point",
 ]

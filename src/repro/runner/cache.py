@@ -26,7 +26,10 @@ from typing import Any, Dict, Optional
 from repro.runner.serialize import canonical_json
 
 #: Bump to invalidate every existing cache entry (format changes).
-CACHE_SCHEMA_VERSION = 1
+#: 2: stats grew interconnect-contention fields and bandwidth
+#: deserialization became tolerant of enum skew — entries written by
+#: schema-1 builds must not be served into the new result shape.
+CACHE_SCHEMA_VERSION = 2
 
 #: Top-level ``repro`` subpackages whose sources are *excluded* from the
 #: code fingerprint — they orchestrate runs but cannot change results.

@@ -52,12 +52,22 @@ def bandwidth_to_dict(bandwidth: BandwidthBreakdown) -> Dict[str, Any]:
 
 
 def bandwidth_from_dict(data: Dict[str, Any]) -> BandwidthBreakdown:
+    """Rebuild a breakdown, tolerating enum skew in either direction.
+
+    A result written by an older (or newer) build may name categories or
+    message kinds this build does not know — those entries are dropped —
+    and may lack kinds this build pre-fills, which simply keep their zero
+    default.  Raising ``KeyError`` here would poison every cache lookup
+    after an enum change.
+    """
     bandwidth = BandwidthBreakdown()
     for name, amount in data["by_category"].items():
-        bandwidth.by_category[BandwidthCategory[name]] = amount
+        if name in BandwidthCategory.__members__:
+            bandwidth.by_category[BandwidthCategory[name]] = amount
     bandwidth.commit_bytes = data["commit_bytes"]
     for name, count in data["message_counts"].items():
-        bandwidth.message_counts[MessageKind[name]] = count
+        if name in MessageKind.__members__:
+            bandwidth.message_counts[MessageKind[name]] = count
     return bandwidth
 
 

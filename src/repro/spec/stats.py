@@ -29,6 +29,7 @@ stats objects (empty runs, unit tests) must never raise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict
 
 from repro.coherence.bus import BandwidthBreakdown
 
@@ -55,6 +56,21 @@ class SpecStats:
     cycles: int = 0
     #: Bus traffic, by category (see Figure 13).
     bandwidth: BandwidthBreakdown = field(default_factory=BandwidthBreakdown)
+    # -- interconnect contention (timed bus model only; all zero under
+    # -- the legacy synchronous bus, so default runs serialise the same
+    # -- shape with inert values) --------------------------------------
+    #: Commit grants issued by the arbiter.
+    bus_grants: int = 0
+    #: All timed bus requests (commit submissions + pipelined messages).
+    bus_requests: int = 0
+    #: Cycles requests spent waiting for grant or pipeline injection.
+    bus_wait_cycles: int = 0
+    #: Cycles the bus spent transferring (commits + pipeline slots).
+    bus_busy_cycles: int = 0
+    #: Deepest request queue observed at any arrival.
+    bus_max_queue_depth: int = 0
+    #: Wait cycles attributed to each requesting port.
+    bus_wait_by_port: Dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Substrate accessor vocabulary
@@ -130,3 +146,22 @@ class SpecStats:
         if self.commits == 0:
             return 0.0
         return self.safe_writebacks / self.commits
+
+    # ------------------------------------------------------------------
+    # Interconnect contention (zero under the legacy bus)
+    # ------------------------------------------------------------------
+
+    @property
+    def bus_avg_wait(self) -> float:
+        """Mean cycles a bus request (commit or pipelined message)
+        waited before its transfer began."""
+        if self.bus_requests == 0:
+            return 0.0
+        return self.bus_wait_cycles / self.bus_requests
+
+    @property
+    def bus_utilisation_percent(self) -> float:
+        """Bus busy cycles as a percentage of the run's cycles."""
+        if self.cycles == 0:
+            return 0.0
+        return 100.0 * self.bus_busy_cycles / self.cycles

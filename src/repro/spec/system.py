@@ -26,8 +26,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.coherence.bus import Bus
 from repro.coherence.message import BandwidthCategory, MessageKind
+from repro.interconnect import DEFAULT_INTERCONNECT, TimedBus, build_bus
 from repro.obs import Observability
 
 
@@ -53,7 +53,8 @@ class SpecSystemCore:
         self._spec_prefix = prefix
         self.metrics = obs.metrics if obs is not None else None
         self.tracer = obs.tracer if obs is not None else None
-        self.bus = Bus(
+        self.bus = build_bus(
+            getattr(params, "interconnect", DEFAULT_INTERCONNECT),
             commit_occupancy_cycles=params.commit_occupancy_cycles,
             bytes_per_cycle=params.bus_bytes_per_cycle,
             metrics=self.metrics,
@@ -102,14 +103,32 @@ class SpecSystemCore:
     # Commit accounting
     # ------------------------------------------------------------------
 
-    def charge_commit_bus(self, request_time: int, packet_bytes: int) -> int:
+    def charge_commit_bus(
+        self, request_time: int, packet_bytes: int, port: int = 0
+    ) -> int:
         """Arbitrate the commit packet onto the bus.
 
         Returns the clock after bus occupancy, transfer, and the
-        substrate's per-commit processor overhead.
+        substrate's per-commit processor overhead.  ``port`` is the
+        committing processor id — the legacy bus ignores it; the timed
+        model attributes arbitration wait to it.
         """
-        end = self.bus.acquire_commit(request_time, packet_bytes)
+        end = self.bus.acquire_commit(request_time, packet_bytes, port=port)
         return end + self.params.commit_overhead_cycles
+
+    def finalize_bus_stats(self) -> None:
+        """Copy the bus's traffic (and, when timed, contention) counters
+        into ``self.stats`` at end of run."""
+        self.stats.bandwidth = self.bus.bandwidth
+        if isinstance(self.bus, TimedBus):
+            self.stats.bus_grants = self.bus.grants
+            self.stats.bus_requests = self.bus.requests
+            self.stats.bus_wait_cycles = self.bus.wait_cycles
+            self.stats.bus_busy_cycles = self.bus.busy_cycles
+            self.stats.bus_max_queue_depth = self.bus.max_queue_depth
+            self.stats.bus_wait_by_port = dict(
+                sorted(self.bus.wait_by_port.items())
+            )
 
     def start_unit_timer(self, unit_key: int, clock: int) -> None:
         """Mark a unit's begin/dispatch/restart time for the cycle timer."""

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.cache.geometry import CacheGeometry, TLS_L1_GEOMETRY
 from repro.core.signature_config import SignatureConfig, default_tls_config
+from repro.interconnect.config import DEFAULT_INTERCONNECT, InterconnectConfig
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,8 @@ class TlsParams:
     # -- bus -------------------------------------------------------------
     commit_occupancy_cycles: int = 6
     bus_bytes_per_cycle: int = 16
+    #: Interconnect timing model (legacy synchronous bus by default).
+    interconnect: InterconnectConfig = DEFAULT_INTERCONNECT
 
     # -- policy ----------------------------------------------------------
     #: Hard cap on restarts of a single task (livelock guard).

@@ -161,7 +161,7 @@ class TlsSystem(SpecSystemCore):
         self.stats.cycles = max(
             self.last_commit_time, max(p.clock for p in self.processors)
         )
-        self.stats.bandwidth = self.bus.bandwidth
+        self.finalize_bus_stats()
         self.trace_run_end()
         return TlsRunResult(
             scheme=self.scheme.name,
@@ -423,11 +423,13 @@ class TlsSystem(SpecSystemCore):
                     words[offset] = value
                     if task_id == state.task_id:
                         dirty = True
-        self.bus.record(MessageKind.FILL)
+        self.bus.record(MessageKind.FILL, now=proc.clock, port=proc.pid)
         self._downgrade_remote_dirty(proc, line_address)
         victim = proc.cache.fill(line_address, words, dirty=dirty)
         if victim is not None and victim.dirty:
-            self.bus.record(MessageKind.WRITEBACK)
+            self.bus.record(
+                MessageKind.WRITEBACK, now=proc.clock, port=proc.pid
+            )
         line = proc.cache.lookup(line_address, touch=False)
         assert line is not None
         return line
@@ -458,7 +460,9 @@ class TlsSystem(SpecSystemCore):
                 if any(base + offset in state.write_log for offset in range(16)):
                     speculative = True
                     break
-            self.bus.record(MessageKind.DOWNGRADE)
+            self.bus.record(
+                MessageKind.DOWNGRADE, now=proc.clock, port=proc.pid
+            )
             if not speculative:
                 other.cache.clean(line_address)
             break
@@ -488,7 +492,9 @@ class TlsSystem(SpecSystemCore):
         assert state.proc is not None
         proc = self.processors[state.proc]
         packet_bytes = self.scheme.commit_packet(self, state)
-        commit_time = self.charge_commit_bus(state.finish_clock, packet_bytes)
+        commit_time = self.charge_commit_bus(
+            state.finish_clock, packet_bytes, port=proc.pid
+        )
         self.last_commit_time = max(self.last_commit_time, commit_time)
 
         self.stats.committed_tasks += 1

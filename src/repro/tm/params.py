@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.cache.geometry import CacheGeometry, TM_L1_GEOMETRY
 from repro.core.signature_config import SignatureConfig, default_tm_config
+from repro.interconnect.config import DEFAULT_INTERCONNECT, InterconnectConfig
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,9 @@ class TmParams:
     commit_occupancy_cycles: int = 10
     #: Bus transfer rate for converting packet bytes into occupancy.
     bus_bytes_per_cycle: int = 16
+    #: Interconnect timing model (legacy synchronous bus by default;
+    #: ``timed`` adds arbitration latency and a transfer pipeline).
+    interconnect: InterconnectConfig = DEFAULT_INTERCONNECT
 
     # -- policy ----------------------------------------------------------
     #: Eager only: enable the footnote-2 mitigation (let the

@@ -158,7 +158,7 @@ class TmSystem(SpecSystemCore):
                 f"TM simulation deadlocked; processors {stuck} never finished"
             )
         self.stats.cycles = max(proc.clock for proc in self.processors)
-        self.stats.bandwidth = self.bus.bandwidth
+        self.finalize_bus_stats()
         self.trace_run_end()
         return TmRunResult(
             scheme=self.scheme.name,
@@ -309,8 +309,8 @@ class TmSystem(SpecSystemCore):
             # speculative line (Section 4.5's external-request rule,
             # applied within the core).
             proc.clock += self.params.miss_cycles
-            self.bus.record(MessageKind.NACK)
-            self.bus.record(MessageKind.FILL)
+            self.bus.record(MessageKind.NACK, now=proc.clock, port=proc.pid)
+            self.bus.record(MessageKind.FILL, now=proc.clock, port=proc.pid)
         elif line is not None:
             proc.clock += self.params.hit_cycles
             observed = line.read_word(word)
@@ -391,7 +391,9 @@ class TmSystem(SpecSystemCore):
             if other.cache.invalidate(line_address) is not None:
                 any_copy = True
         if any_copy:
-            self.bus.record(MessageKind.INVALIDATION)
+            self.bus.record(
+                MessageKind.INVALIDATION, now=proc.clock, port=proc.pid
+            )
 
     def _miss_fill(self, proc: TmProcessor, byte_address: int, line_address: int):
         """Service a miss: overflow area first (if the scheme says so),
@@ -430,7 +432,7 @@ class TmSystem(SpecSystemCore):
         return line
 
     def _charge_fill_coherence(self, proc: TmProcessor, line_address: int) -> None:
-        self.bus.record(MessageKind.FILL)
+        self.bus.record(MessageKind.FILL, now=proc.clock, port=proc.pid)
         for other in self.processors:
             if other is proc or other.cache is proc.cache:
                 continue
@@ -441,11 +443,15 @@ class TmSystem(SpecSystemCore):
                 # Speculative dirty data (possibly a co-resident thread's
                 # in an SMT core): the request is nacked and memory
                 # responds with the committed version.
-                self.bus.record(MessageKind.NACK)
+                self.bus.record(
+                    MessageKind.NACK, now=proc.clock, port=proc.pid
+                )
             else:
                 # Non-speculative dirty: the owner downgrades (its data
                 # matches memory in this model).
-                self.bus.record(MessageKind.DOWNGRADE)
+                self.bus.record(
+                    MessageKind.DOWNGRADE, now=proc.clock, port=proc.pid
+                )
                 other.cache.clean(line_address)
             break
 
@@ -467,7 +473,9 @@ class TmSystem(SpecSystemCore):
             self.charge_overflow_access(1)
             self.scheme.on_spec_eviction(self, owner)
         else:
-            self.bus.record(MessageKind.WRITEBACK)
+            self.bus.record(
+                MessageKind.WRITEBACK, now=proc.clock, port=proc.pid
+            )
 
     # ------------------------------------------------------------------
     # Commit
@@ -477,7 +485,9 @@ class TmSystem(SpecSystemCore):
         txn = proc.txn
         assert txn is not None
         packet_bytes = self.scheme.commit_packet(self, proc)
-        proc.clock = self.charge_commit_bus(proc.clock, packet_bytes)
+        proc.clock = self.charge_commit_bus(
+            proc.clock, packet_bytes, port=proc.pid
+        )
         now = proc.clock
 
         self.stats.committed_transactions += 1
@@ -548,7 +558,9 @@ class TmSystem(SpecSystemCore):
         for line_address in txn.all_write_lines():
             line = proc.cache.lookup(line_address, touch=False)
             if line is not None and line.dirty:
-                self.bus.record(MessageKind.WRITEBACK)
+                self.bus.record(
+                    MessageKind.WRITEBACK, now=now, port=proc.pid
+                )
                 proc.cache.clean(line_address)
 
         if proc.overflow_area is not None and proc.overflow_area.allocated:

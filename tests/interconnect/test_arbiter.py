@@ -1,0 +1,83 @@
+"""Tests for the arbitration policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interconnect import (
+    POLICIES,
+    BusRequest,
+    FifoPolicy,
+    RoundRobinPolicy,
+    SmallestFirstPolicy,
+    resolve_policy,
+)
+
+
+def request(port, arrival, payload_bytes=0, seq=0):
+    return BusRequest(
+        port=port, arrival=arrival, payload_bytes=payload_bytes, seq=seq
+    )
+
+
+class TestRegistry:
+    def test_three_policies_registered(self):
+        assert set(POLICIES) == {"fifo", "round-robin", "smallest-first"}
+
+    def test_resolve_returns_fresh_instances(self):
+        assert resolve_policy("fifo") is not resolve_policy("fifo")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="unknown arbitration"):
+            resolve_policy("random")
+
+
+class TestFifo:
+    def test_oldest_arrival_wins(self):
+        pending = [request(0, 50, seq=0), request(1, 10, seq=1)]
+        assert FifoPolicy().select(pending) == 1
+
+    def test_tie_breaks_by_submission_order(self):
+        pending = [request(1, 10, seq=5), request(0, 10, seq=2)]
+        assert FifoPolicy().select(pending) == 1
+
+
+class TestRoundRobin:
+    def test_rotates_past_last_winner(self):
+        policy = RoundRobinPolicy()
+        pending = [request(0, 0, seq=0), request(1, 0, seq=1),
+                   request(2, 0, seq=2)]
+        index = policy.select(pending)
+        assert pending[index].port == 0
+        policy.granted(pending[index])
+        remaining = [pending[1], pending[2]]
+        assert remaining[policy.select(remaining)].port == 1
+
+    def test_wraps_around(self):
+        policy = RoundRobinPolicy()
+        policy.granted(request(3, 0))
+        pending = [request(0, 0, seq=0), request(1, 0, seq=1)]
+        # After port 3 the rotation wraps to the lowest pending port.
+        assert pending[policy.select(pending)].port == 0
+
+    def test_last_winner_is_lowest_priority(self):
+        policy = RoundRobinPolicy()
+        policy.granted(request(1, 0))
+        pending = [request(1, 0, seq=0), request(3, 0, seq=1)]
+        assert pending[policy.select(pending)].port == 3
+
+    def test_reset_restores_initial_rotation(self):
+        policy = RoundRobinPolicy()
+        policy.granted(request(2, 0))
+        policy.reset()
+        pending = [request(0, 0, seq=0), request(2, 0, seq=1)]
+        assert pending[policy.select(pending)].port == 0
+
+
+class TestSmallestFirst:
+    def test_smallest_packet_wins(self):
+        pending = [request(0, 0, 640, seq=0), request(1, 5, 64, seq=1)]
+        assert SmallestFirstPolicy().select(pending) == 1
+
+    def test_size_tie_breaks_by_arrival_then_seq(self):
+        pending = [request(0, 9, 64, seq=4), request(1, 3, 64, seq=1)]
+        assert SmallestFirstPolicy().select(pending) == 1

@@ -1,0 +1,69 @@
+"""CLI wiring of the interconnect flags."""
+
+import pytest
+
+from repro.cli import _bus_spec, build_parser, main
+
+
+class TestBusSpecResolution:
+    def test_defaults_resolve_to_no_spec(self):
+        args = build_parser().parse_args(["tm", "mc"])
+        assert _bus_spec(args) is None
+
+    def test_explicit_timed_model(self):
+        args = build_parser().parse_args(["tm", "mc", "--bus-model", "timed"])
+        assert _bus_spec(args) == "timed:latency=0,policy=fifo,window=0"
+
+    def test_nondefault_knob_implies_timed(self):
+        args = build_parser().parse_args(["tls", "gzip", "--bus-latency", "4"])
+        assert _bus_spec(args) == "timed:latency=4,policy=fifo,window=0"
+        args = build_parser().parse_args(
+            ["checkpoint", "predictor", "--bus-policy", "round-robin"]
+        )
+        assert _bus_spec(args) == "timed:latency=0,policy=round-robin,window=0"
+
+    def test_unknown_policy_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tm", "mc", "--bus-policy", "chaos"])
+
+    def test_unknown_model_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tm", "mc", "--bus-model", "warp"])
+
+    def test_reproduce_accepts_bus_flags(self):
+        args = build_parser().parse_args(["reproduce", "--bus-latency", "2"])
+        assert _bus_spec(args) == "timed:latency=2,policy=fifo,window=0"
+
+
+class TestContentionOutput:
+    def test_legacy_run_prints_no_contention_table(self, capsys):
+        assert main(["tm", "mc", "--txns", "3", "--seed", "1"]) == 0
+        assert "Interconnect contention" not in capsys.readouterr().out
+
+    def test_timed_tm_run_prints_contention_table(self, capsys):
+        assert main([
+            "tm", "mc", "--txns", "3", "--seed", "1", "--bus-latency", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Interconnect contention (timed:latency=4" in out
+        assert "WaitCyc" in out and "Util%" in out
+
+    def test_timed_run_changes_cycles_but_not_bandwidth(self, capsys):
+        assert main(["tls", "gzip", "--tasks", "30", "--seed", "2"]) == 0
+        legacy_out = capsys.readouterr().out
+        assert main([
+            "tls", "gzip", "--tasks", "30", "--seed", "2",
+            "--bus-latency", "8",
+        ]) == 0
+        timed_out = capsys.readouterr().out
+        assert "Interconnect contention" in timed_out
+        assert "Interconnect contention" not in legacy_out
+
+    def test_timed_checkpoint_prints_per_depth_tables(self, capsys):
+        assert main([
+            "checkpoint", "predictor", "--epochs", "12", "--seed", "3",
+            "--max-depth", "2", "--jobs", "1", "--bus-latency", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Interconnect contention (depth 1" in out
+        assert "Interconnect contention (depth 2" in out

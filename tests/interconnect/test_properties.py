@@ -1,0 +1,158 @@
+"""Property tests for the timed interconnect.
+
+Four invariants the model must hold for *any* traffic, not just the
+workloads the simulators happen to generate:
+
+1. **Conservation** — the timed bus accounts exactly the bytes the
+   legacy bus accounts for the same message stream; timing never
+   creates or drops traffic.
+2. **No grant overlap** — commit transfers serialise: each grant waits
+   at least the arbitration latency and starts no earlier than the
+   previous transfer's end.
+3. **Fairness bounds** — FIFO never grants a strictly younger request
+   over an older one; round-robin never leaves a port waiting more than
+   one full rotation of the competing ports.
+4. **Zero-latency equivalence** — the ``timed:latency=0`` model returns
+   the same commit-completion clocks as the legacy synchronous bus.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.bus import Bus
+from repro.coherence.message import MessageKind
+from repro.interconnect import InterconnectConfig, TimedBus
+
+#: Fixed-size kinds `record` accepts with no payload argument.
+FIXED_KINDS = [
+    MessageKind.INVALIDATION,
+    MessageKind.UPGRADE,
+    MessageKind.DOWNGRADE,
+    MessageKind.NACK,
+    MessageKind.FILL,
+    MessageKind.WRITEBACK,
+    MessageKind.OVERFLOW_ACCESS,
+]
+
+
+def make_timed(spec, occupancy=10, bpc=16):
+    return TimedBus(
+        InterconnectConfig.parse(spec),
+        commit_occupancy_cycles=occupancy,
+        bytes_per_cycle=bpc,
+    )
+
+
+messages = st.lists(
+    st.tuples(
+        st.sampled_from(FIXED_KINDS),
+        st.integers(min_value=0, max_value=200),  # arrival clock
+        st.integers(min_value=0, max_value=7),  # port
+    ),
+    max_size=40,
+)
+
+commit_requests = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=500),  # request clock
+        st.integers(min_value=0, max_value=512),  # packet bytes
+        st.integers(min_value=0, max_value=7),  # port
+    ),
+    max_size=25,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=messages, window=st.integers(min_value=0, max_value=4))
+def test_conservation_bytes_in_equals_bytes_out(stream, window):
+    """Timing knobs never change what the bus accounts."""
+    legacy = Bus(commit_occupancy_cycles=10, bytes_per_cycle=16)
+    timed = make_timed(f"timed:latency=3,window={window}")
+    clock = 0
+    for kind, step, port in stream:
+        clock += step
+        legacy.record(kind, now=clock, port=port)
+        timed.record(kind, now=clock, port=port)
+    assert timed.bandwidth.by_category == legacy.bandwidth.by_category
+    assert timed.bandwidth.total_bytes == legacy.bandwidth.total_bytes
+    assert timed.bandwidth.commit_bytes == legacy.bandwidth.commit_bytes
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    requests=commit_requests,
+    latency=st.integers(min_value=0, max_value=8),
+    policy=st.sampled_from(["fifo", "round-robin", "smallest-first"]),
+)
+def test_no_grant_overlap_and_latency_floor(requests, latency, policy):
+    """Commit grants serialise and respect the arbitration latency."""
+    timed = make_timed(f"timed:latency={latency},policy={policy}")
+    clock = 0
+    for step, packet_bytes, port in requests:
+        clock += step
+        timed.acquire_commit(clock, packet_bytes, port=port)
+    log = timed.grant_log
+    for record in log:
+        assert record.grant >= record.arrival + latency
+        assert record.end > record.grant
+    for earlier, later in zip(log, log[1:]):
+        assert later.grant >= earlier.end
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests=commit_requests)
+def test_fifo_never_reorders_by_age(requests):
+    """Within one drained batch, FIFO grants strictly by (arrival, seq)."""
+    timed = make_timed("timed:latency=2")
+    for _, packet_bytes, port in requests:
+        timed.submit(port, 0, packet_bytes)
+    records = timed.drain()
+    keys = [(r.arrival, r.seq) for r in records]
+    assert keys == sorted(keys)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ports=st.lists(
+        st.integers(min_value=0, max_value=5), min_size=1, max_size=24
+    )
+)
+def test_round_robin_bounds_port_wait(ports):
+    """No port sits out a full rotation while holding a pending request.
+
+    With all requests pending at once, round-robin must not grant any
+    port twice before every other requesting port has been granted once.
+    """
+    timed = make_timed("timed:policy=round-robin")
+    for port in ports:
+        timed.submit(port, 0, 0)
+    records = timed.drain()
+    assert len(records) == len(ports)
+    remaining = {}
+    for port in ports:
+        remaining[port] = remaining.get(port, 0) + 1
+    granted = {}
+    for record in records:
+        winner = record.port
+        # When a port wins, it must not already lead any port that
+        # still has a request outstanding — i.e. nobody waits more
+        # than one full rotation.
+        for other, left in remaining.items():
+            if other != winner and left > 0:
+                assert granted.get(winner, 0) <= granted.get(other, 0)
+        granted[winner] = granted.get(winner, 0) + 1
+        remaining[winner] -= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(requests=commit_requests)
+def test_zero_latency_equals_legacy_bus(requests):
+    """``timed:latency=0`` returns the legacy bus's completion clocks."""
+    legacy = Bus(commit_occupancy_cycles=10, bytes_per_cycle=16)
+    timed = make_timed("timed")
+    clock = 0
+    for step, packet_bytes, port in requests:
+        clock += step
+        assert timed.acquire_commit(
+            clock, packet_bytes, port=port
+        ) == legacy.acquire_commit(clock, packet_bytes)

@@ -1,0 +1,165 @@
+"""Unit tests for the queued, pipelined bus model."""
+
+from repro.coherence.bus import Bus
+from repro.coherence.message import MessageKind
+from repro.interconnect import InterconnectConfig, TimedBus, build_bus
+from repro.obs.metrics import MetricsRegistry
+
+
+def timed_bus(spec="timed", **kwargs):
+    return TimedBus(InterconnectConfig.parse(spec), **kwargs)
+
+
+class TestBuildBus:
+    def test_legacy_config_builds_plain_bus(self):
+        bus = build_bus(InterconnectConfig.parse("legacy"))
+        assert type(bus) is Bus
+
+    def test_timed_config_builds_timed_bus(self):
+        bus = build_bus(InterconnectConfig.parse("timed:latency=2"))
+        assert isinstance(bus, TimedBus)
+        assert bus.config.arbitration_latency == 2
+
+
+class TestCommitArbitration:
+    def test_zero_latency_matches_legacy_bus(self):
+        legacy = Bus(commit_occupancy_cycles=10, bytes_per_cycle=16)
+        timed = timed_bus(commit_occupancy_cycles=10, bytes_per_cycle=16)
+        assert timed.acquire_commit(100, 160) == legacy.acquire_commit(100, 160)
+        assert timed.acquire_commit(105, 0) == legacy.acquire_commit(105, 0)
+
+    def test_arbitration_latency_delays_grant(self):
+        timed = timed_bus(
+            "timed:latency=4", commit_occupancy_cycles=10, bytes_per_cycle=16
+        )
+        # Grant at 104, occupancy 10 + 160/16 transfer cycles.
+        assert timed.acquire_commit(100, 160) == 124
+        record = timed.grant_log[0]
+        assert record.grant == 104
+        assert record.wait == 4
+
+    def test_busy_bus_extends_wait_beyond_latency(self):
+        timed = timed_bus(commit_occupancy_cycles=10, bytes_per_cycle=16)
+        timed.acquire_commit(100, 160, port=0)  # occupies 100..120
+        assert timed.acquire_commit(105, 0, port=1) == 130
+        assert timed.grant_log[1].wait == 15
+        assert timed.wait_by_port == {0: 0, 1: 15}
+
+    def test_grants_never_overlap(self):
+        timed = timed_bus(commit_occupancy_cycles=10, bytes_per_cycle=16)
+        for time in (100, 101, 102, 103):
+            timed.acquire_commit(time, 64, port=time % 2)
+        log = timed.grant_log
+        for earlier, later in zip(log, log[1:]):
+            assert later.grant >= earlier.end
+
+    def test_batch_drain_honours_policy_order(self):
+        timed = timed_bus(
+            "timed:policy=smallest-first",
+            commit_occupancy_cycles=10,
+            bytes_per_cycle=16,
+        )
+        timed.submit(0, 0, 640)
+        timed.submit(1, 0, 16)
+        timed.submit(2, 0, 160)
+        records = timed.drain()
+        assert [r.port for r in records] == [1, 2, 0]
+
+    def test_queue_depth_counts_pending_and_in_flight(self):
+        timed = timed_bus(commit_occupancy_cycles=10, bytes_per_cycle=16)
+        timed.submit(0, 0, 0)
+        timed.submit(1, 0, 0)
+        timed.submit(2, 0, 0)  # sees the two earlier pending requests
+        assert timed.max_queue_depth == 2
+        timed.drain()  # transfers end at 10, 20, 30
+        timed.submit(3, 15, 0)  # two transfers still on the bus
+        assert timed.max_queue_depth == 2
+
+
+class TestTransferPipeline:
+    def test_accounting_matches_legacy(self):
+        legacy = Bus(commit_occupancy_cycles=10, bytes_per_cycle=16)
+        timed = timed_bus(commit_occupancy_cycles=10, bytes_per_cycle=16)
+        for bus in (legacy, timed):
+            bus.record(MessageKind.FILL, now=0, port=1)
+            bus.record(MessageKind.WRITEBACK)
+            bus.record(MessageKind.INVALIDATION, now=3)
+        assert timed.bandwidth.by_category == legacy.bandwidth.by_category
+        assert timed.bandwidth.commit_bytes == legacy.bandwidth.commit_bytes
+
+    def test_back_to_back_injection(self):
+        timed = timed_bus(commit_occupancy_cycles=10, bytes_per_cycle=16)
+        timed.record(MessageKind.FILL, now=0)  # 76 bytes -> 5 slots
+        timed.record(MessageKind.FILL, now=0)  # injects on the next beat
+        assert timed.requests == 2
+        assert timed.wait_cycles == 1  # second message waited one beat
+        assert timed.busy_cycles == 10  # 5 slots each
+
+    def test_bounded_window_stalls_injection(self):
+        timed = timed_bus(
+            "timed:window=1", commit_occupancy_cycles=10, bytes_per_cycle=16
+        )
+        timed.record(MessageKind.FILL, now=0)  # in flight until cycle 5
+        timed.record(MessageKind.FILL, now=0, port=2)
+        # The window of one forces the second message to wait for the
+        # first transfer to drain, not just for the next beat.
+        assert timed.wait_cycles == 5
+        assert timed.wait_by_port == {0: 0, 2: 5}
+        assert timed.max_queue_depth == 1
+
+    def test_commit_traffic_not_pipelined(self):
+        timed = timed_bus(commit_occupancy_cycles=10, bytes_per_cycle=16)
+        timed.record(
+            MessageKind.COMMIT_SIGNATURE, 64, is_commit_traffic=True
+        )
+        assert timed.requests == 0
+        assert timed.busy_cycles == 0
+
+
+class TestObservability:
+    def test_metrics_registered_under_bus_names(self):
+        registry = MetricsRegistry()
+        timed = timed_bus(
+            "timed:latency=3",
+            commit_occupancy_cycles=10,
+            bytes_per_cycle=16,
+            metrics=registry,
+        )
+        timed.acquire_commit(100, 160)
+        timed.record(MessageKind.FILL, now=0)
+        assert registry.counter("bus.grants").value == 1
+        assert registry.counter("bus.wait_cycles").value == 3
+        assert registry.counter("bus.busy_cycles").value == 20 + 5
+        assert registry.histogram("bus.queue_depth").count == 2
+
+    def test_contention_summary_shape(self):
+        timed = timed_bus(commit_occupancy_cycles=10, bytes_per_cycle=16)
+        timed.acquire_commit(0, 16, port=1)
+        summary = timed.contention_summary()
+        assert summary == {
+            "grants": 1,
+            "requests": 1,
+            "wait_cycles": 0,
+            "busy_cycles": 11,
+            "max_queue_depth": 0,
+            "wait_by_port": {1: 0},
+            "requests_by_port": {1: 1},
+        }
+
+    def test_reset_clears_everything(self):
+        timed = timed_bus(
+            "timed:latency=2", commit_occupancy_cycles=10, bytes_per_cycle=16
+        )
+        timed.acquire_commit(10, 64, port=1)
+        timed.record(MessageKind.FILL, now=0)
+        timed.reset()
+        assert timed.grants == 0
+        assert timed.requests == 0
+        assert timed.wait_cycles == 0
+        assert timed.busy_cycles == 0
+        assert timed.max_queue_depth == 0
+        assert timed.wait_by_port == {}
+        assert timed.grant_log == []
+        assert timed.bandwidth.total_bytes == 0
+        # Arbitration restarts from a clean clock.
+        assert timed.acquire_commit(10, 64, port=1) == 10 + 2 + 10 + 4

@@ -18,6 +18,14 @@ GRID = [
     tls_point("mcf", seed=11, num_tasks=30),
     checkpoint_point("predictor", seed=11, num_epochs=16),
     checkpoint_point("hotset", seed=11, num_epochs=16, rollback_depth=2),
+    # Timed-interconnect points: contention accounting must obey the
+    # same byte-identity contract as everything else.
+    tls_point(
+        "gzip", seed=11, num_tasks=30, bus="timed:latency=3,policy=round-robin"
+    ),
+    checkpoint_point(
+        "predictor", seed=11, num_epochs=16, bus="timed:latency=3"
+    ),
 ]
 
 

@@ -10,12 +10,16 @@ from repro.runner import (
     GridExecutionError,
     GridRunner,
     ResultCache,
+    checkpoint_point,
     code_fingerprint,
     comparison_from_dict,
     comparison_to_dict,
+    execution_cost,
+    submission_order,
     tls_point,
     tm_point,
 )
+from repro.runner.serialize import bandwidth_from_dict, bandwidth_to_dict
 
 
 class TestGridPoint:
@@ -34,6 +38,97 @@ class TestGridPoint:
             [tm_point("mc", txns_per_thread=2), tm_point("mc", txns_per_thread=2)]
         )
         assert len(result.results) == 1
+
+
+class TestSubmissionOrder:
+    def test_default_cost_ranks_tm_over_tls_over_checkpoint(self):
+        tm = execution_cost(tm_point("mc"))
+        tls = execution_cost(tls_point("gzip"))
+        checkpoint = execution_cost(checkpoint_point("predictor"))
+        assert tm > tls > checkpoint
+
+    def test_cost_scales_with_the_kind_unit_knob(self):
+        assert execution_cost(tm_point("mc", txns_per_thread=6)) == (
+            2 * execution_cost(tm_point("mc", txns_per_thread=3))
+        )
+
+    def test_rollback_depth_multiplies_checkpoint_cost(self):
+        shallow = checkpoint_point("predictor", num_epochs=16)
+        deep = checkpoint_point("predictor", num_epochs=16, rollback_depth=4)
+        assert execution_cost(deep) == 4 * execution_cost(shallow)
+
+    def test_most_expensive_points_submit_first(self):
+        points = [
+            checkpoint_point("predictor", num_epochs=16),
+            tm_point("mc", txns_per_thread=3),
+            tls_point("gzip", num_tasks=30),
+        ]
+        ordered = submission_order(points)
+        assert [p.kind for p in ordered] == ["tm", "tls", "checkpoint"]
+
+    def test_equal_cost_ties_break_by_key(self):
+        points = [
+            tm_point("mc", txns_per_thread=3),
+            tm_point("cb", txns_per_thread=3),
+        ]
+        ordered = submission_order(points)
+        assert ordered == submission_order(list(reversed(points)))
+        assert [p.key for p in ordered] == sorted(p.key for p in points)
+
+
+class TestSerializationTolerance:
+    """Enum skew between builds must degrade to zeros, never KeyError."""
+
+    def test_unknown_category_and_kind_names_are_dropped(self):
+        data = {
+            "by_category": {"FILL": 76, "WARP_FIELD": 12},
+            "commit_bytes": 5,
+            "message_counts": {"FILL": 1, "WARP_FIELD": 1},
+        }
+        bandwidth = bandwidth_from_dict(data)
+        assert bandwidth.total_bytes == 76
+        assert bandwidth.commit_bytes == 5
+        assert sum(bandwidth.message_counts.values()) == 1
+
+    def test_missing_names_keep_their_zero_defaults(self):
+        empty = bandwidth_from_dict(
+            {"by_category": {}, "commit_bytes": 0, "message_counts": {}}
+        )
+        assert empty.total_bytes == 0
+
+    def test_round_trip_is_lossless_for_known_names(self):
+        comparison = run_tm_comparison("mc", txns_per_thread=2, seed=3)
+        for stats in comparison.stats.values():
+            rebuilt = bandwidth_from_dict(bandwidth_to_dict(stats.bandwidth))
+            assert rebuilt.by_category == stats.bandwidth.by_category
+            assert rebuilt.message_counts == stats.bandwidth.message_counts
+
+    def test_stats_missing_bus_fields_default_to_zero(self):
+        # A cache entry written before the interconnect fields existed.
+        comparison = run_tm_comparison("mc", txns_per_thread=2, seed=3)
+        encoded = comparison_to_dict(comparison)
+        for stats in encoded["stats"].values():
+            for name in list(stats):
+                if name.startswith("bus_"):
+                    del stats[name]
+        rebuilt = comparison_from_dict(encoded)
+        for stats in rebuilt.stats.values():
+            assert stats.bus_grants == 0
+            assert stats.bus_wait_by_port == {}
+
+    def test_bus_wait_by_port_restores_int_keys(self):
+        comparison = run_tm_comparison(
+            "mc", txns_per_thread=2, seed=3, bus="timed:latency=2"
+        )
+        rebuilt = comparison_from_dict(comparison_to_dict(comparison))
+        for scheme, stats in comparison.stats.items():
+            other = rebuilt.stats[scheme]
+            assert other.bus_wait_by_port == stats.bus_wait_by_port
+            assert all(
+                isinstance(key, int) for key in other.bus_wait_by_port
+            )
+            assert other.bus_grants == stats.bus_grants
+            assert other.bus_wait_cycles == stats.bus_wait_cycles
 
 
 class TestSerializationRoundTrip:
