@@ -128,13 +128,16 @@ def run_tm_comparison(
     """
     params = _apply_bus(params, bus)
     comparison = TmComparison(app=app)
+    # One build serves every scheme: traces are immutable (tuples of
+    # frozen events), and rebuilding with the same seed produced the
+    # identical sequence anyway.
+    traces = build_tm_workload(
+        app,
+        num_threads=params.num_processors,
+        txns_per_thread=txns_per_thread,
+        seed=seed,
+    )
     for entry in scheme_entries("tm", include_variants=include_partial):
-        traces = build_tm_workload(
-            app,
-            num_threads=params.num_processors,
-            txns_per_thread=txns_per_thread,
-            seed=seed,
-        )
         # Variants (Bulk-Partial) carry parameter overrides and skip
         # sample collection — they exist for Figure 11's extra bar, not
         # for the Figure 15 accuracy methodology.
@@ -187,10 +190,11 @@ def run_tls_comparison(
     if schemes is None:
         schemes = list(scheme_names("tls"))
     comparison = TlsComparison(app=app)
+    # Tasks are immutable static descriptors; the sequential baseline
+    # and every scheme share one build (same seed == same sequence).
     tasks = build_tls_workload(app, num_tasks=num_tasks, seed=seed)
     comparison.sequential_cycles = simulate_sequential(tasks, params)
     for name in schemes:
-        tasks = build_tls_workload(app, num_tasks=num_tasks, seed=seed)
         result = TlsSystem(tasks, resolve_scheme("tls", name), params, obs=obs).run()
         result.stats.sequential_cycles = comparison.sequential_cycles
         comparison.cycles[name] = result.cycles
@@ -231,14 +235,14 @@ def run_checkpoint_comparison(
 ) -> CheckpointComparison:
     """Run one checkpoint workload under every registered scheme.
 
-    Every scheme consumes a freshly built (identical) epoch stream at the
+    Every scheme consumes the identical (immutable) epoch stream at the
     same rollback depth, so cycle and bandwidth ratios are meaningful.
     ``bus`` (optional) selects the interconnect model by spec string.
     """
     params = _apply_bus(params, bus)
     comparison = CheckpointComparison(app=app, rollback_depth=rollback_depth)
+    epochs = build_checkpoint_workload(app, num_epochs=num_epochs, seed=seed)
     for name in scheme_names("checkpoint"):
-        epochs = build_checkpoint_workload(app, num_epochs=num_epochs, seed=seed)
         system = CheckpointSystem(
             resolve_scheme("checkpoint", name),
             epochs,

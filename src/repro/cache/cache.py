@@ -21,11 +21,16 @@ from repro.errors import SimulationError
 class Cache:
     """A set-associative, write-back, write-allocate cache with LRU."""
 
-    __slots__ = ("geometry", "stats", "_sets")
+    __slots__ = ("geometry", "stats", "_sets", "_set_mask", "_associativity")
 
     def __init__(self, geometry: CacheGeometry) -> None:
         self.geometry = geometry
         self.stats = CacheStats()
+        # The geometry's num_sets/set_index are derived properties (a
+        # division per call); lookup runs per memory access, so the
+        # power-of-two mask and the associativity are pinned here once.
+        self._set_mask = geometry.num_sets - 1
+        self._associativity = geometry.associativity
         # One OrderedDict per set: line_address -> CacheLine, most recently
         # used last.
         self._sets: List["OrderedDict[int, CacheLine]"] = [
@@ -38,11 +43,11 @@ class Cache:
 
     def set_index(self, line_address: int) -> int:
         """Set index of a line address."""
-        return self.geometry.set_index(line_address)
+        return line_address & self._set_mask
 
     def lookup(self, line_address: int, touch: bool = True) -> Optional[CacheLine]:
         """Find a line; optionally refresh its LRU position."""
-        cache_set = self._sets[self.set_index(line_address)]
+        cache_set = self._sets[line_address & self._set_mask]
         line = cache_set.get(line_address)
         if line is not None and touch:
             cache_set.move_to_end(line_address)
@@ -50,7 +55,7 @@ class Cache:
 
     def contains(self, line_address: int) -> bool:
         """Presence test without touching LRU state."""
-        return line_address in self._sets[self.set_index(line_address)]
+        return line_address in self._sets[line_address & self._set_mask]
 
     # ------------------------------------------------------------------
     # Fill and eviction
@@ -68,14 +73,14 @@ class Cache:
         or ``None`` if no eviction was needed.  Filling an already-present
         line is an error — callers must use :meth:`lookup` first.
         """
-        index = self.set_index(line_address)
+        index = line_address & self._set_mask
         cache_set = self._sets[index]
         if line_address in cache_set:
             raise SimulationError(
                 f"fill of line 0x{line_address:x} already present in set {index}"
             )
         victim: Optional[CacheLine] = None
-        if len(cache_set) >= self.geometry.associativity:
+        if len(cache_set) >= self._associativity:
             _, victim = cache_set.popitem(last=False)
             self.stats.evictions += 1
             if victim.dirty:
@@ -90,14 +95,14 @@ class Cache:
         The BDM uses this to apply the Set Restriction *before* a fill
         happens (e.g. to write back a non-speculative dirty victim).
         """
-        cache_set = self._sets[self.set_index(line_address)]
-        if line_address in cache_set or len(cache_set) < self.geometry.associativity:
+        cache_set = self._sets[line_address & self._set_mask]
+        if line_address in cache_set or len(cache_set) < self._associativity:
             return None
         return next(iter(cache_set.values()))
 
     def invalidate(self, line_address: int) -> Optional[CacheLine]:
         """Remove a line, returning it (or ``None`` if absent)."""
-        cache_set = self._sets[self.set_index(line_address)]
+        cache_set = self._sets[line_address & self._set_mask]
         line = cache_set.pop(line_address, None)
         if line is not None:
             self.stats.invalidations += 1

@@ -27,7 +27,7 @@ from repro.checkpoint.stats import CheckpointStats
 from repro.checkpoint.workload import CheckpointEpoch
 from repro.coherence.message import MessageKind
 from repro.errors import ConfigurationError
-from repro.mem.address import byte_to_line, byte_to_word, word_to_line
+from repro.mem.address import LINE_SHIFT, WORD_SHIFT
 from repro.obs import Observability
 from repro.spec.system import SpecSystemCore
 
@@ -35,18 +35,20 @@ from repro.spec.system import SpecSystemCore
 class EpochRecord:
     """Exact footprint of one live epoch (the system's oracle)."""
 
-    __slots__ = ("epoch_pos", "checkpoint_id", "read_words", "write_words")
+    __slots__ = (
+        "epoch_pos", "checkpoint_id", "read_words", "write_words",
+        "write_lines",
+    )
 
     def __init__(self, epoch_pos: int, checkpoint_id: int) -> None:
         self.epoch_pos = epoch_pos
         self.checkpoint_id = checkpoint_id
         self.read_words: Set[int] = set()
         self.write_words: Set[int] = set()
-
-    @property
-    def write_lines(self) -> Set[int]:
-        """Line addresses this epoch wrote."""
-        return {word_to_line(word) for word in self.write_words}
+        #: Line addresses this epoch wrote — maintained incrementally
+        #: alongside ``write_words`` (commit and rollback consult it
+        #: repeatedly; do not mutate the set from outside).
+        self.write_lines: Set[int] = set()
 
 
 class CheckpointSystem(SpecSystemCore):
@@ -140,54 +142,67 @@ class CheckpointSystem(SpecSystemCore):
         self.stats.checkpoints_taken += 1
         if self._m_takes is not None:
             self._m_takes.inc()
-        self.trace_event(
-            "checkpoint.take",
-            checkpoint=checkpoint_id,
-            epoch=epoch_pos,
-            clock=self.clock,
-        )
+        if self.obs_enabled:
+            self.trace_event(
+                "checkpoint.take",
+                checkpoint=checkpoint_id,
+                epoch=epoch_pos,
+                clock=self.clock,
+            )
         self.start_unit_timer(checkpoint_id, self.clock)
         return record
 
     def _execute_epoch(self, record: EpochRecord, epoch: CheckpointEpoch) -> None:
+        # The per-access loop of the substrate: bind the hot attributes
+        # once per epoch (engine, cache probe, bus, params, record sets)
+        # and inline the address shifts.  The clock must still advance
+        # per operation — every bus charge is stamped with it.
         engine = self.engine
+        lookup = engine.cache.lookup
+        bus_record = self.bus.record
+        hit_cycles = self.params.hit_cycles
+        miss_cycles = self.params.miss_cycles
+        read_words_add = record.read_words.add
+        write_words_add = record.write_words.add
+        write_lines_add = record.write_lines.add
         for kind, byte_address, value in epoch.ops:
-            line_address = byte_to_line(byte_address)
-            hit = engine.cache.lookup(line_address) is not None
-            self.clock += (
-                self.params.hit_cycles if hit else self.params.miss_cycles
-            )
+            line_address = byte_address >> LINE_SHIFT
+            hit = lookup(line_address) is not None
+            self.clock += hit_cycles if hit else miss_cycles
             if kind == "load":
                 if not hit:
-                    self.bus.record(MessageKind.FILL, now=self.clock, port=0)
+                    bus_record(MessageKind.FILL, now=self.clock, port=0)
                     victim = engine.cache.fill(
                         line_address, engine.line_view(line_address)
                     )
                     if victim is not None and victim.dirty:
-                        self.bus.record(
+                        bus_record(
                             MessageKind.WRITEBACK, now=self.clock, port=0
                         )
                 engine.load(byte_address)
-                record.read_words.add(byte_to_word(byte_address))
+                read_words_add(byte_address >> WORD_SHIFT)
             else:
                 if not hit:
                     # The engine fills the line itself; the system only
                     # charges the fill traffic.
-                    self.bus.record(MessageKind.FILL, now=self.clock, port=0)
+                    bus_record(MessageKind.FILL, now=self.clock, port=0)
                 writebacks_before = engine.safe_writebacks
                 engine.store(byte_address, value)
                 for _ in range(engine.safe_writebacks - writebacks_before):
-                    self.bus.record(
+                    bus_record(
                         MessageKind.WRITEBACK, now=self.clock, port=0
                     )
                     self.stats.safe_writebacks += 1
-                record.write_words.add(byte_to_word(byte_address))
+                write_words_add(byte_address >> WORD_SHIFT)
+                write_lines_add(line_address)
 
     def _commit_oldest(self) -> None:
         record = self._live.pop(0)
         packet_bytes = self.scheme.commit_packet(self, record)
         self.clock = self.charge_commit_bus(self.clock, packet_bytes, port=0)
-        committed_lines = record.write_lines
+        # Copy before subtracting: write_lines is the record's own
+        # incrementally-maintained set, not a fresh property value.
+        committed_lines = set(record.write_lines)
         for live in self._live:
             committed_lines -= live.write_lines
         self.engine.commit_oldest()
@@ -202,14 +217,15 @@ class CheckpointSystem(SpecSystemCore):
         self.stats.committed_checkpoints += 1
         self.stats.read_set_words += len(record.read_words)
         self.stats.write_set_words += len(record.write_words)
-        self.note_commit(
-            packet_bytes,
-            record.checkpoint_id,
-            self.clock,
-            checkpoint=record.checkpoint_id,
-            epoch=record.epoch_pos,
-            write_words=len(record.write_words),
-        )
+        if self.obs_enabled:
+            self.note_commit(
+                packet_bytes,
+                record.checkpoint_id,
+                self.clock,
+                checkpoint=record.checkpoint_id,
+                epoch=record.epoch_pos,
+                write_words=len(record.write_words),
+            )
 
     def _rollback(self, target: EpochRecord) -> None:
         keep = self._live.index(target)
@@ -240,15 +256,16 @@ class CheckpointSystem(SpecSystemCore):
         self.stats.false_commit_invalidations += false_invalidated
         if self._m_rollbacks is not None:
             self._m_rollbacks.inc()
-        self.note_squash(
-            "misprediction",
-            checkpoint=target.checkpoint_id,
-            epoch=target.epoch_pos,
-            discarded=discarded,
-            invalidated=len(invalidated_lines),
-            false_invalidated=false_invalidated,
-            clock=self.clock,
-        )
+        if self.obs_enabled:
+            self.note_squash(
+                "misprediction",
+                checkpoint=target.checkpoint_id,
+                epoch=target.epoch_pos,
+                discarded=discarded,
+                invalidated=len(invalidated_lines),
+                false_invalidated=false_invalidated,
+                clock=self.clock,
+            )
         self.scheme.on_rollback(
             self, discarded, len(invalidated_lines), false_invalidated
         )

@@ -43,6 +43,11 @@ class BandwidthCategory(enum.Enum):
     WB = "WB"
     FILL = "Fill"
 
+    # Members are singletons, so identity hashing is exact; the default
+    # Enum hash is a Python-level call and these values key the per-message
+    # bandwidth dicts on the bus hot path.
+    __hash__ = object.__hash__
+
 
 class MessageKind(enum.Enum):
     """Every message type the systems put on the bus."""
@@ -68,6 +73,10 @@ class MessageKind(enum.Enum):
     #: (Partial Overlap, Figure 9) — costs one signature packet.
     SPAWN_SIGNATURE = "spawn-signature"
 
+    # Identity hashing (see BandwidthCategory): message kinds key the
+    # bandwidth counters consulted on every bus message.
+    __hash__ = object.__hash__
+
 
 #: Message kind → bandwidth category.
 CATEGORY_OF_KIND = {
@@ -83,6 +92,19 @@ CATEGORY_OF_KIND = {
 }
 
 
+#: Total size of every fixed-size message kind.  The two signature-packet
+#: kinds are absent: their payload (the RLE-compressed signature) varies.
+FIXED_MESSAGE_BYTES: dict = {
+    MessageKind.INVALIDATION: HEADER_BYTES + ADDRESS_BYTES,
+    MessageKind.UPGRADE: HEADER_BYTES + ADDRESS_BYTES,
+    MessageKind.DOWNGRADE: HEADER_BYTES + ADDRESS_BYTES,
+    MessageKind.NACK: HEADER_BYTES + ADDRESS_BYTES,
+    MessageKind.FILL: HEADER_BYTES + ADDRESS_BYTES + LINE_DATA_BYTES,
+    MessageKind.WRITEBACK: HEADER_BYTES + ADDRESS_BYTES + LINE_DATA_BYTES,
+    MessageKind.OVERFLOW_ACCESS: HEADER_BYTES + ADDRESS_BYTES + LINE_DATA_BYTES,
+}
+
+
 def message_bytes(kind: MessageKind, payload_bytes: int = 0) -> int:
     """Total bytes of one message of a given kind.
 
@@ -90,20 +112,17 @@ def message_bytes(kind: MessageKind, payload_bytes: int = 0) -> int:
     spawn signature packets, whose payload is the RLE-compressed signature)
     and must be omitted for fixed-size kinds.
     """
-    if kind in (MessageKind.COMMIT_SIGNATURE, MessageKind.SPAWN_SIGNATURE):
+    size = FIXED_MESSAGE_BYTES.get(kind)
+    if size is not None:
+        if payload_bytes:
+            raise ConfigurationError(
+                f"{kind.value} messages have a fixed size; got payload override"
+            )
+        return size
+    if kind is MessageKind.COMMIT_SIGNATURE or kind is MessageKind.SPAWN_SIGNATURE:
         if payload_bytes <= 0:
             raise ConfigurationError(
                 f"{kind.value} messages need an explicit payload size"
             )
         return HEADER_BYTES + payload_bytes
-    if payload_bytes:
-        raise ConfigurationError(
-            f"{kind.value} messages have a fixed size; got payload override"
-        )
-    if kind in (MessageKind.INVALIDATION, MessageKind.UPGRADE,
-                MessageKind.DOWNGRADE, MessageKind.NACK):
-        return HEADER_BYTES + ADDRESS_BYTES
-    if kind in (MessageKind.FILL, MessageKind.WRITEBACK,
-                MessageKind.OVERFLOW_ACCESS):
-        return HEADER_BYTES + ADDRESS_BYTES + LINE_DATA_BYTES
     raise ConfigurationError(f"unknown message kind {kind!r}")

@@ -27,7 +27,7 @@ from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.cache.cache import Cache
 from repro.cache.geometry import CacheGeometry
-from repro.core.decode import DeltaDecoder
+from repro.core.decode import CachedDecoder
 from repro.core.disambiguation import DisambiguationResult, disambiguate
 from repro.core.expansion import expand_signature
 from repro.core.signature import Signature
@@ -161,7 +161,11 @@ class BulkDisambiguationModule:
             raise ConfigurationError("a BDM needs at least one version context")
         self.config = config
         self.geometry = geometry
-        self.decoder = DeltaDecoder(config, geometry.num_sets)
+        # The memoised decoder is the single swap point that puts the
+        # decode fast path under every substrate's expansion sites
+        # (TM/TLS commit and squash invalidation, checkpoint rollback).
+        self.decoder = CachedDecoder(config, geometry.num_sets)
+        self._set_mask = geometry.num_sets - 1
         if require_exact_delta:
             self.decoder.require_exact()
         self.contexts: List[VersionContext] = [
@@ -258,10 +262,17 @@ class BulkDisambiguationModule:
     # Recording accesses (the per-load/per-store hardware path)
     # ------------------------------------------------------------------
 
-    def record_load(self, byte_address: int) -> None:
-        """Add a load's address to the running context's R signature."""
-        context = self._require_running()
-        context.read_signature.add(self.config.granularity.from_byte(byte_address))
+    def record_load(self, byte_address: int) -> int:
+        """Add a load's address to the running context's R signature.
+
+        Returns the address's flat encode mask so callers that mirror
+        the access into further signatures (the TM scheme's per-section
+        registers) can reuse it instead of re-encoding.
+        """
+        config = self.config
+        mask = config.flat_mask(config.granularity.from_byte(byte_address))
+        self._require_running().read_signature.add_mask(mask)
+        return mask
 
     def record_store(self, byte_address: int) -> int:
         """Add a store's address to the running context's W signature(s).
@@ -270,11 +281,17 @@ class BulkDisambiguationModule:
         has *already* validated with :meth:`store_set_action`.  The
         context's incremental ``delta(W)`` mask is updated here.
         """
+        config = self.config
+        address = config.granularity.from_byte(byte_address)
+        return self.record_store_granule(address, config.flat_mask(address))
+
+    def record_store_granule(self, address: int, mask: int) -> int:
+        """The :meth:`record_store` core, for callers that already
+        converted the byte address and hold its flat encode mask."""
         context = self._require_running()
-        address = self.config.granularity.from_byte(byte_address)
-        context.write_signature.add(address)
+        context.write_signature.add_mask(mask)
         if context.shadow_write_signature is not None:
-            context.shadow_write_signature.add(address)
+            context.shadow_write_signature.add_mask(mask)
         set_index = self.decoder.set_index_of(address)
         context.delta_mask |= 1 << set_index
         return set_index
@@ -295,13 +312,14 @@ class BulkDisambiguationModule:
         Section 4.5: (1, 0) proceed; (0, 0) write back any non-speculative
         dirty lines first; (0, 1) conflict with a preempted context.
         """
-        set_index = self.geometry.set_index(line_address)
-        bit = 1 << set_index
-        if self.delta_w_run & bit:
+        bit = 1 << (line_address & self._set_mask)
+        running = self.running
+        if running is not None and running.delta_mask & bit:
             return SetRestrictionAction.PROCEED
-        if self.or_delta_w_pre & bit:
-            self.stats.set_restriction_conflicts += 1
-            return SetRestrictionAction.CONFLICT
+        for context in self.contexts:
+            if context.active and context is not running and context.delta_mask & bit:
+                self.stats.set_restriction_conflicts += 1
+                return SetRestrictionAction.CONFLICT
         return SetRestrictionAction.WRITEBACK_NONSPEC
 
     def note_safe_writeback(self, count: int = 1) -> None:

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.core.bitvector import iter_set_bits
+from repro.core.memo import DEFAULT_DECODE_CAPACITY, LruCache
 from repro.core.signature import Signature
 from repro.core.signature_config import SignatureConfig
 from repro.errors import DeltaInexactError
@@ -51,11 +52,13 @@ class DeltaDecoder:
         "_index_bit_count",
         "_groups",
         "_uncovered_bits",
+        "_set_mask",
     )
 
     def __init__(self, config: SignatureConfig, num_sets: int) -> None:
         self.config = config
         self.num_sets = num_sets
+        self._set_mask = num_sets - 1
         self._index_bit_count = line_index_bits(num_sets)
 
         # Which source bits of the (granularity-level) address form the
@@ -129,8 +132,7 @@ class DeltaDecoder:
 
     def set_index_of(self, address: int) -> int:
         """Exact cache set index of one granularity-level address."""
-        line = self.config.granularity.line_of(address)
-        return line & (self.num_sets - 1)
+        return self.config.granularity.line_of(address) & self._set_mask
 
     def selected_sets(self, signature: Signature) -> List[int]:
         """The set indices selected by delta(S), ascending.
@@ -145,3 +147,59 @@ class DeltaDecoder:
         return (
             f"DeltaDecoder({self.config.name}, num_sets={self.num_sets}, {kind})"
         )
+
+
+#: LruCache.get default that cannot collide with a decode result (the
+#: empty mask 0 is a perfectly valid one).
+_DECODE_MISS = object()
+
+#: (config, num_sets, capacity) -> the LRU memo every CachedDecoder with
+#: that key shares.  Decode is pure in (config, num_sets, flat value), so
+#: sharing is safe — and essential: each processor's BDM owns its own
+#: decoder, and a commit broadcast decodes the *same* signature once per
+#: receiver.  Bounded: one entry per distinct key (a handful per process)
+#: of at most ``capacity`` masks each.
+_SHARED_DECODE_CACHES: Dict[Tuple[SignatureConfig, int, int], LruCache] = {}
+
+
+class CachedDecoder(DeltaDecoder):
+    """A :class:`DeltaDecoder` with a bounded LRU memo on decode results.
+
+    delta(S) is a pure function of the flat register value for a fixed
+    (configuration, geometry) pair — and commits re-decode the *same*
+    committed signature once per receiver cache, so the memo turns an
+    N-processor broadcast into one decode plus N-1 lookups.  Keyed on
+    ``signature.to_flat_int()``; the memo itself is shared between all
+    decoders of the same ``(config, num_sets, capacity)``, which
+    completes the ``(config, flat_int)`` key.
+
+    Strictly semantics-preserving: byte-identical results, including
+    the exactness contract (``require_exact`` is inherited untouched).
+    This is what :class:`~repro.core.bdm.BulkDisambiguationModule`
+    instantiates, which covers the TM, TLS, and checkpoint expansion
+    sites in one place.
+    """
+
+    __slots__ = ("_decode_cache",)
+
+    def __init__(
+        self,
+        config: SignatureConfig,
+        num_sets: int,
+        capacity: int = DEFAULT_DECODE_CAPACITY,
+    ) -> None:
+        super().__init__(config, num_sets)
+        key = (config, num_sets, capacity)
+        cache = _SHARED_DECODE_CACHES.get(key)
+        if cache is None:
+            cache = _SHARED_DECODE_CACHES[key] = LruCache("decode", capacity)
+        self._decode_cache = cache
+
+    def decode(self, signature: Signature) -> int:
+        cache = self._decode_cache
+        flat = signature.to_flat_int()
+        mask = cache.get(flat, _DECODE_MISS)
+        if mask is _DECODE_MISS:
+            mask = DeltaDecoder.decode(self, signature)
+            cache.put(flat, mask)
+        return mask

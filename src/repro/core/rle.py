@@ -54,15 +54,28 @@ def _varint_decode(data: bytes, offset: int) -> tuple:
 
 
 def rle_encode(signature: Signature) -> bytes:
-    """Compress a signature into its commit-packet wire form."""
-    positions: List[int] = list(signature.set_bit_positions())
-    out = bytearray()
-    _varint_encode(len(positions), out)
-    previous = -1
-    for position in positions:
-        _varint_encode(position - previous - 1, out)
-        previous = position
-    return bytes(out)
+    """Compress a signature into its commit-packet wire form.
+
+    Memoised per configuration on the flat register value (the encoding
+    is a pure function of it): commit paths size the same signature for
+    the packet header and again for the bandwidth charge, and receivers
+    of a broadcast all see the same register.  The returned ``bytes``
+    object is immutable, so sharing it between hits is safe.
+    """
+    cache = signature.config._rle_cache
+    flat = signature.to_flat_int()
+    data = cache.get(flat)
+    if data is None:
+        positions: List[int] = list(signature.set_bit_positions())
+        out = bytearray()
+        _varint_encode(len(positions), out)
+        previous = -1
+        for position in positions:
+            _varint_encode(position - previous - 1, out)
+            previous = position
+        data = bytes(out)
+        cache.put(flat, data)
+    return data
 
 
 def rle_decode(config: SignatureConfig, data: bytes) -> Signature:

@@ -65,8 +65,7 @@ class Signature:
     ) -> "Signature":
         """Encode a whole address set at once."""
         signature = cls(config)
-        for address in addresses:
-            signature.add(address)
+        signature.add_many(addresses)
         return signature
 
     @property
@@ -108,6 +107,31 @@ class Signature:
     def add(self, address: int) -> None:
         """Insert one address (at the configuration's granularity)."""
         self._flat |= self.config.flat_mask(address)
+        self._fields = None
+
+    def add_many(self, addresses: Iterable[int]) -> None:
+        """Insert a whole address iterable with one register OR.
+
+        The batched build kernel: the configuration dedupes the iterable
+        and accumulates a single mask
+        (:meth:`~repro.core.signature_config.SignatureConfig.flat_mask_many`),
+        so the register is touched once.  Bit-identical to calling
+        :meth:`add` per address.
+        """
+        mask = self.config.flat_mask_many(addresses)
+        if mask:
+            self._flat |= mask
+            self._fields = None
+
+    def add_mask(self, mask: int) -> None:
+        """OR a precomputed flat mask into the register.
+
+        The single-address fast lane for callers that already hold the
+        address's :meth:`~repro.core.signature_config.SignatureConfig.flat_mask`
+        (the BDM computes it once per access and feeds every signature
+        that records the access).
+        """
+        self._flat |= mask
         self._fields = None
 
     def clear(self) -> None:
@@ -245,6 +269,5 @@ def signature_of(
     native unit); :meth:`Signature.add` takes already-converted addresses.
     """
     signature = Signature(config)
-    for byte_address in byte_addresses:
-        signature.add(config.granularity.from_byte(byte_address))
+    signature.add_many(map(config.granularity.from_byte, byte_addresses))
     return signature

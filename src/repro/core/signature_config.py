@@ -14,9 +14,14 @@ used for TM (line addresses, 26 bits) and TLS (word addresses, 30 bits).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.core.fields import ChunkLayout
+from repro.core.memo import (
+    DEFAULT_FLAT_MASK_CAPACITY,
+    DEFAULT_RLE_CAPACITY,
+    LruCache,
+)
 from repro.core.permutation import BitPermutation, SpecEntry
 from repro.errors import ConfigurationError
 from repro.mem.address import Granularity
@@ -116,7 +121,22 @@ class SignatureConfig:
         # eq/hash/repr).  Configurations are shared across the many
         # signatures of a simulation, so repeated insertions of the same
         # address hit the memo instead of re-running permute + slice.
-        object.__setattr__(self, "_flat_mask_cache", {})
+        # Size-capped: long word-granularity TLS grid runs touch an
+        # unbounded stream of distinct words, and the memo must not grow
+        # with them.
+        object.__setattr__(
+            self,
+            "_flat_mask_cache",
+            LruCache("flat_mask", DEFAULT_FLAT_MASK_CAPACITY),
+        )
+        # Commit-packet RLE memo (see repro.core.rle): flat register
+        # value -> encoded bytes.  Commit-side code sizes the same
+        # signature several times (packet header, bandwidth charge,
+        # spawn flush), and the encoding is a pure function of the flat
+        # value for a fixed layout.
+        object.__setattr__(
+            self, "_rle_cache", LruCache("rle", DEFAULT_RLE_CAPACITY)
+        )
 
     @classmethod
     def make(
@@ -153,14 +173,60 @@ class SignatureConfig:
         it.  Memoised per configuration, since workloads revisit the same
         addresses constantly.
         """
+        # Hot path: inline the LRU hit (dict probe + recency touch +
+        # counter) rather than going through LruCache.get — this memo is
+        # consulted on every recorded access of every simulator.
         cache = self._flat_mask_cache
-        mask = cache.get(address)
-        if mask is None:
-            mask = 0
-            for offset, chunk in zip(self.layout.field_offsets, self.encode(address)):
-                mask |= 1 << (offset + chunk)
-            cache[address] = mask
+        data = cache._data
+        mask = data.get(address)
+        if mask is not None:
+            cache.hits += 1
+            data.move_to_end(address)
+            return mask
+        cache.misses += 1
+        mask = 0
+        for offset, chunk in zip(self.layout.field_offsets, self.encode(address)):
+            mask |= 1 << (offset + chunk)
+        cache.put(address, mask)
         return mask
+
+    def flat_mask_many(self, addresses: "Iterable[int]") -> int:
+        """One accumulated mask for a whole address iterable.
+
+        The batched build kernel: deduplicates the iterable locally (a
+        plain set — cheaper than the LRU for the duplicates within one
+        batch) and ORs each distinct address's mask into a single
+        accumulator, so inserting N addresses costs one register OR
+        instead of N.  Exactly equivalent to OR-ing :meth:`flat_mask`
+        over the iterable.
+        """
+        cache = self._flat_mask_cache
+        data = cache._data
+        get = data.get
+        touch = data.move_to_end
+        field_offsets = self.layout.field_offsets
+        encode = self.encode
+        accumulated = 0
+        hits = 0
+        seen = set()
+        seen_add = seen.add
+        for address in addresses:
+            if address in seen:
+                continue
+            seen_add(address)
+            mask = get(address)
+            if mask is not None:
+                hits += 1
+                touch(address)
+            else:
+                cache.misses += 1
+                mask = 0
+                for offset, chunk in zip(field_offsets, encode(address)):
+                    mask |= 1 << (offset + chunk)
+                cache.put(address, mask)
+            accumulated |= mask
+        cache.hits += hits
+        return accumulated
 
     def with_permutation(self, permutation: BitPermutation) -> "SignatureConfig":
         """The same configuration under a different bit permutation."""

@@ -42,7 +42,8 @@ class WordMemory:
 
     def load_line(self, line_address: int) -> Tuple[int, ...]:
         """Return the 16 word values of a line, in address order."""
-        return tuple(self.load(w) for w in words_of_line(line_address))
+        get = self._words.get
+        return tuple([get(w, 0) for w in words_of_line(line_address)])
 
     def store_line(self, line_address: int, values: Iterable[int]) -> None:
         """Write all 16 words of a line, in address order."""

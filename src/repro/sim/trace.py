@@ -31,6 +31,11 @@ class EventKind(enum.Enum):
     TX_BEGIN = "tx-begin"
     TX_END = "tx-end"
 
+    # Members are singletons, so identity hashing is exact; the default
+    # Enum hash is a Python-level call and events are hashed whenever a
+    # frozen MemEvent is, i.e. constantly during workload handling.
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class MemEvent:

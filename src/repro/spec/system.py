@@ -53,6 +53,13 @@ class SpecSystemCore:
         self._spec_prefix = prefix
         self.metrics = obs.metrics if obs is not None else None
         self.tracer = obs.tracer if obs is not None else None
+        #: The obs fast-path switch: hot call sites check this one flag
+        #: before *building* the keyword arguments for note_* / trace
+        #: helpers, so the default (untraced, unmetered) configuration
+        #: never pays for formatting work nobody will see.  The
+        #: Observability bundle always carries both instruments, so one
+        #: flag covers metrics and tracer exactly.
+        self.obs_enabled = obs is not None
         self.bus = build_bus(
             getattr(params, "interconnect", DEFAULT_INTERCONNECT),
             commit_occupancy_cycles=params.commit_occupancy_cycles,

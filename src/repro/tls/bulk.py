@@ -121,9 +121,13 @@ class TlsBulkScheme(TlsScheme):
             if not line.dirty:
                 proc.cache.invalidate(line.line_address)
                 flushed += 1
-        system.note_sig_expansion(
-            "spawn-flush", task=state.task_id, proc=proc.pid, invalidated=flushed
-        )
+        if system.obs_enabled:
+            system.note_sig_expansion(
+                "spawn-flush",
+                task=state.task_id,
+                proc=proc.pid,
+                invalidated=flushed,
+            )
 
     def on_spawn_point(
         self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
@@ -278,15 +282,16 @@ class TlsBulkScheme(TlsScheme):
         system.stats.false_commit_invalidations += false_invalidated
         for _ in range(writeback_invalidated):
             system.bus.record(MessageKind.WRITEBACK)
-        system.note_sig_expansion(
-            "commit-invalidate",
-            commit_invalidated=invalidated,
-            committer=committer.task_id,
-            receiver_proc=proc.pid,
-            invalidated=invalidated,
-            merged=merged,
-            false_invalidated=false_invalidated,
-        )
+        if system.obs_enabled:
+            system.note_sig_expansion(
+                "commit-invalidate",
+                commit_invalidated=invalidated,
+                committer=committer.task_id,
+                receiver_proc=proc.pid,
+                invalidated=invalidated,
+                merged=merged,
+                false_invalidated=false_invalidated,
+            )
 
     # ------------------------------------------------------------------
     # Squash and cleanup
@@ -301,12 +306,13 @@ class TlsBulkScheme(TlsScheme):
             proc.cache, context, invalidate_read_lines=True
         )
         context.clear()
-        system.note_sig_expansion(
-            "squash-invalidate",
-            task=state.task_id,
-            proc=proc.pid,
-            invalidated=invalidated,
-        )
+        if system.obs_enabled:
+            system.note_sig_expansion(
+                "squash-invalidate",
+                task=state.task_id,
+                proc=proc.pid,
+                invalidated=invalidated,
+            )
 
     def on_commit_cleanup(
         self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState

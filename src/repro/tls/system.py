@@ -27,7 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.cache.cache import Cache
 from repro.coherence.message import MessageKind
 from repro.errors import SimulationError
-from repro.mem.address import byte_to_line, byte_to_word
+from repro.mem.address import LINE_SHIFT, WORD_SHIFT
 from repro.mem.memory import WordMemory
 from repro.obs import Observability
 from repro.sim.engine import MinClockScheduler
@@ -355,8 +355,9 @@ class TlsSystem(SpecSystemCore):
         return self.memory.load(word_address)
 
     def _load(self, proc: TlsProcessor, state: TaskState, byte_address: int) -> None:
-        word = byte_to_word(byte_address)
-        line_address = byte_to_line(byte_address)
+        # Shifts inlined (== byte_to_word / byte_to_line): per-access path.
+        word = byte_address >> WORD_SHIFT
+        line_address = byte_address >> LINE_SHIFT
         expected = self._expected_value(state, word)
         line = proc.cache.lookup(line_address)
         if line is not None:
@@ -374,10 +375,10 @@ class TlsSystem(SpecSystemCore):
         """Perform a store; returns False if the storer itself was
         squashed by a Wr-Wr Set Restriction conflict."""
         byte_address = event.address
-        line_address = byte_to_line(byte_address)
+        line_address = byte_address >> LINE_SHIFT
         victim = self.scheme.eager_check_store(self, proc, state, byte_address)
         if victim is not None:
-            aggressor_word = byte_to_word(byte_address)
+            aggressor_word = byte_address >> WORD_SHIFT
             self._note_direct_squash_stats(
                 dependence=1, false_positive=False
             )
@@ -395,7 +396,7 @@ class TlsSystem(SpecSystemCore):
             proc.clock += self.params.hit_cycles
         else:
             line = self._miss_fill(proc, state, line_address)
-        line.write_word(byte_to_word(byte_address), event.value)
+        line.write_word(byte_address >> WORD_SHIFT, event.value)
         if not line.dirty:  # pragma: no cover - write_word always dirties
             raise SimulationError("store left the line clean")
         state.record_store(byte_address, event.value)
@@ -500,14 +501,15 @@ class TlsSystem(SpecSystemCore):
         self.stats.committed_tasks += 1
         self.stats.read_set_words += len(state.read_words)
         self.stats.write_set_words += len(state.write_words)
-        self.note_commit(
-            packet_bytes,
-            state.task_id,
-            commit_time,
-            task=state.task_id,
-            proc=proc.pid,
-            write_words=len(state.write_words),
-        )
+        if self.obs_enabled:
+            self.note_commit(
+                packet_bytes,
+                state.task_id,
+                commit_time,
+                task=state.task_id,
+                proc=proc.pid,
+                write_words=len(state.write_words),
+            )
 
         # Make the task's state architectural *before* receivers merge
         # lines (the merge fetches the committed version).
@@ -600,13 +602,14 @@ class TlsSystem(SpecSystemCore):
             proc = self.processors[state.proc]
             self.stats.squashes += 1
             victim_cause = cause if state.task_id == first_task_id else "cascade"
-            self.note_squash(
-                victim_cause,
-                victim=state.task_id,
-                proc=proc.pid,
-                attempt=state.attempts,
-                clock=now,
-            )
+            if self.obs_enabled:
+                self.note_squash(
+                    victim_cause,
+                    victim=state.task_id,
+                    proc=proc.pid,
+                    attempt=state.attempts,
+                    clock=now,
+                )
             self.scheme.squash_cleanup(self, proc, state)
             state.reset_for_restart()
             state.respawn_pending = state.task_id - 1 in squashed_ids
@@ -662,7 +665,7 @@ def simulate_sequential(tasks: Sequence[TlsTask], params: TlsParams) -> int:
             if event.kind is EventKind.COMPUTE:
                 clock += event.cycles
                 continue
-            line_address = byte_to_line(event.address)
+            line_address = event.address >> LINE_SHIFT
             line = cache.lookup(line_address)
             if line is None:
                 clock += params.miss_cycles
@@ -672,7 +675,7 @@ def simulate_sequential(tasks: Sequence[TlsTask], params: TlsParams) -> int:
             else:
                 clock += params.hit_cycles
             if event.kind is EventKind.STORE:
-                word = byte_to_word(event.address)
+                word = event.address >> WORD_SHIFT
                 memory.store(word, event.value)
                 line.write_word(word, event.value)
     return clock

@@ -13,7 +13,7 @@ import enum
 from typing import Dict, Optional, Sequence, Set
 
 from repro.errors import TraceError
-from repro.mem.address import byte_to_line, byte_to_word
+from repro.mem.address import WORD_SHIFT, WORD_TO_LINE_SHIFT
 from repro.sim.trace import EventKind, MemEvent
 
 
@@ -140,11 +140,12 @@ class TaskState:
 
     def record_load(self, byte_address: int) -> None:
         """Add a load to the exact read set."""
-        self.read_words.add(byte_to_word(byte_address))
+        # Shift inlined (== byte_to_word): runs on every TLS load.
+        self.read_words.add(byte_address >> WORD_SHIFT)
 
     def record_store(self, byte_address: int, value: int) -> None:
         """Add a store to the exact write sets and the write log."""
-        word = byte_to_word(byte_address)
+        word = byte_address >> WORD_SHIFT
         self.write_words.add(word)
         self.write_log[word] = value & 0xFFFFFFFF
         if self.shadow_write_words is not None:
@@ -157,11 +158,11 @@ class TaskState:
 
     def write_lines(self) -> Set[int]:
         """Line addresses touched by the write set."""
-        return {byte_to_line(word << 2) for word in self.write_words}
+        return {word >> WORD_TO_LINE_SHIFT for word in self.write_words}
 
     def read_lines(self) -> Set[int]:
         """Line addresses touched by the read set."""
-        return {byte_to_line(word << 2) for word in self.read_words}
+        return {word >> WORD_TO_LINE_SHIFT for word in self.read_words}
 
     def reset_for_restart(self) -> None:
         """Squash: discard all speculative state, rewind to the start.

@@ -162,26 +162,27 @@ class BulkScheme(TmScheme):
     ) -> None:
         bdm = self.bdm_of(proc)
         bdm.set_running(self._ctx(proc))
-        bdm.record_load(byte_address)
+        # The BDM hands back the address's encode mask so the section
+        # register records the access without re-encoding it.
+        mask = bdm.record_load(byte_address)
         assert proc.txn is not None
         section = proc.txn.current
         if section.read_signature is not None:
-            section.read_signature.add(
-                bdm.config.granularity.from_byte(byte_address)
-            )
+            section.read_signature.add_mask(mask)
 
     def record_store(
         self, system: "TmSystem", proc: TmProcessor, byte_address: int
     ) -> None:
         bdm = self.bdm_of(proc)
         bdm.set_running(self._ctx(proc))
-        bdm.record_store(byte_address)
+        config = bdm.config
+        address = config.granularity.from_byte(byte_address)
+        mask = config.flat_mask(address)
+        bdm.record_store_granule(address, mask)
         assert proc.txn is not None
         section = proc.txn.current
         if section.write_signature is not None:
-            section.write_signature.add(
-                bdm.config.granularity.from_byte(byte_address)
-            )
+            section.write_signature.add_mask(mask)
 
     # ------------------------------------------------------------------
     # Commit
@@ -240,14 +241,15 @@ class BulkScheme(TmScheme):
         system.stats.false_commit_invalidations += (
             bdm.stats.false_commit_invalidations - before
         )
-        system.note_sig_expansion(
-            "commit-invalidate",
-            commit_invalidated=invalidated,
-            committer=committer.pid,
-            receiver=receiver.pid,
-            invalidated=invalidated,
-            false_invalidated=bdm.stats.false_commit_invalidations - before,
-        )
+        if system.obs_enabled:
+            system.note_sig_expansion(
+                "commit-invalidate",
+                commit_invalidated=invalidated,
+                committer=committer.pid,
+                receiver=receiver.pid,
+                invalidated=invalidated,
+                false_invalidated=bdm.stats.false_commit_invalidations - before,
+            )
 
     def commit_cleanup(self, system: "TmSystem", proc: TmProcessor) -> None:
         bdm = self.bdm_of(proc)
@@ -266,9 +268,10 @@ class BulkScheme(TmScheme):
         context = self._ctx(proc)
         if from_section == 0:
             invalidated = bdm.squash_invalidate(proc.cache, context)
-            system.note_sig_expansion(
-                "squash-invalidate", proc=proc.pid, invalidated=invalidated
-            )
+            if system.obs_enabled:
+                system.note_sig_expansion(
+                    "squash-invalidate", proc=proc.pid, invalidated=invalidated
+                )
             context.clear()
             return
         # Partial rollback: invalidate only with the union of the
@@ -290,18 +293,21 @@ class BulkScheme(TmScheme):
             context.write_signature.union_update(section.write_signature)
         context.delta_mask = bdm.decoder.decode(context.write_signature)
         system.stats.partial_rollbacks += 1
-        system.note_sig_expansion(
-            "partial-rollback",
-            decode=True,
-            proc=proc.pid,
-            from_section=from_section,
-            invalidated=invalidated,
-        )
-        system.trace_event(
-            "sig.decode",
-            proc=proc.pid,
-            delta_sets=bin(context.delta_mask).count("1"),
-        )
+        if system.obs_enabled:
+            system.note_sig_expansion(
+                "partial-rollback",
+                decode=True,
+                proc=proc.pid,
+                from_section=from_section,
+                invalidated=invalidated,
+            )
+            # The delta_sets popcount is formatting work; it must not run
+            # on the untraced fast path.
+            system.trace_event(
+                "sig.decode",
+                proc=proc.pid,
+                delta_sets=bin(context.delta_mask).count("1"),
+            )
 
     # ------------------------------------------------------------------
     # Non-speculative invalidations and overflow

@@ -27,7 +27,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.coherence.message import MessageKind
 from repro.errors import SimulationError
-from repro.mem.address import byte_to_line, byte_to_word
+from repro.mem.address import LINE_SHIFT, WORD_SHIFT
 from repro.mem.memory import WordMemory
 from repro.obs import Observability
 from repro.sim.engine import MinClockScheduler
@@ -174,19 +174,21 @@ class TmSystem(SpecSystemCore):
     # ------------------------------------------------------------------
 
     def _step(self, proc: TmProcessor) -> None:
-        event = proc.current_event()
+        event = proc.trace.events[proc.cursor]
         kind = event.kind
-        if kind is EventKind.COMPUTE:
+        # Branches ordered by frequency: memory accesses dominate every
+        # workload, then compute bursts, then the rare txn markers.
+        if kind is EventKind.LOAD:
+            self._access(proc, event, is_store=False)
+        elif kind is EventKind.STORE:
+            self._access(proc, event, is_store=True)
+        elif kind is EventKind.COMPUTE:
             proc.clock += event.cycles
             proc.cursor += 1
         elif kind is EventKind.TX_BEGIN:
             self._begin(proc)
         elif kind is EventKind.TX_END:
             self._end(proc)
-        elif kind is EventKind.LOAD:
-            self._access(proc, event, is_store=False)
-        elif kind is EventKind.STORE:
-            self._access(proc, event, is_store=True)
         else:  # pragma: no cover - exhaustive over EventKind
             raise SimulationError(f"unhandled event kind {kind!r}")
         if proc.cursor >= len(proc.trace.events) and proc.txn is None:
@@ -295,8 +297,9 @@ class TmSystem(SpecSystemCore):
         return writer
 
     def _load(self, proc: TmProcessor, byte_address: int) -> None:
-        word = byte_to_word(byte_address)
-        line_address = byte_to_line(byte_address)
+        # Shifts inlined (== byte_to_word / byte_to_line): per-access path.
+        word = byte_address >> WORD_SHIFT
+        line_address = byte_address >> LINE_SHIFT
         expected = self._expected_value(proc, word)
         line = proc.cache.lookup(line_address)
         if line is not None and line.dirty and (
@@ -327,7 +330,7 @@ class TmSystem(SpecSystemCore):
             self.scheme.record_load(self, proc, byte_address)
 
     def _store(self, proc: TmProcessor, byte_address: int, value: int) -> None:
-        line_address = byte_to_line(byte_address)
+        line_address = byte_address >> LINE_SHIFT
         if proc.txn is not None:
             self.scheme.prepare_store(self, proc, line_address)
             line = proc.cache.lookup(line_address)
@@ -335,7 +338,7 @@ class TmSystem(SpecSystemCore):
                 proc.clock += self.params.hit_cycles
             else:
                 line = self._miss_fill(proc, byte_address, line_address)
-            line.write_word(byte_to_word(byte_address), value)
+            line.write_word(byte_address >> WORD_SHIFT, value)
             proc.txn.record_store(byte_address, value)
             self.scheme.record_store(self, proc, byte_address)
             return
@@ -345,7 +348,7 @@ class TmSystem(SpecSystemCore):
     def _nonspec_store(
         self, proc: TmProcessor, byte_address: int, value: int, line_address: int
     ) -> None:
-        word = byte_to_word(byte_address)
+        word = byte_address >> WORD_SHIFT
         if self.params.threads_per_core > 1:
             # A non-speculative dirty line must not join a cache set
             # owned by a co-resident thread's speculative context (the
@@ -373,8 +376,8 @@ class TmSystem(SpecSystemCore):
                 continue
             if self.scheme.nonspec_inval_check(self, other, byte_address):
                 exact = (
-                    byte_to_line(byte_address) in other.txn.all_read_granules()
-                    or byte_to_line(byte_address) in other.txn.all_write_granules()
+                    line_address in other.txn.all_read_granules()
+                    or line_address in other.txn.all_write_granules()
                 )
                 self.squash(
                     victim=other,
@@ -495,14 +498,15 @@ class TmSystem(SpecSystemCore):
         self.stats.write_set_granules += len(txn.all_write_granules())
         if proc.has_overflow():
             self.stats.overflowed_transactions += 1
-        self.note_commit(
-            packet_bytes,
-            proc.pid,
-            now,
-            proc=proc.pid,
-            txn=txn.txn_id,
-            write_granules=len(txn.all_write_granules()),
-        )
+        if self.obs_enabled:
+            self.note_commit(
+                packet_bytes,
+                proc.pid,
+                now,
+                proc=proc.pid,
+                txn=txn.txn_id,
+                write_granules=len(txn.all_write_granules()),
+            )
 
         committed_writes = txn.all_write_granules()
         updated_caches = {id(proc.cache)}
@@ -512,8 +516,10 @@ class TmSystem(SpecSystemCore):
             if other.txn is not None:
                 if other.has_overflow():
                     self.scheme.overflow_disambiguation_cost(self, proc, other)
-                exact_dep = committed_writes & (
-                    other.txn.all_read_granules() | other.txn.all_write_granules()
+                # A ∩ (R ∪ W) without allocating the (large) R ∪ W union:
+                # the committed write set is the small operand.
+                exact_dep = (committed_writes & other.txn.all_read_granules()) | (
+                    committed_writes & other.txn.all_write_granules()
                 )
                 section = self.scheme.receiver_conflict(self, proc, other)
                 if (
@@ -545,9 +551,12 @@ class TmSystem(SpecSystemCore):
                 self.scheme.commit_update_receiver(self, proc, other)
 
         # Make the transaction's state architectural, in section order.
-        for word, value in txn.merged_write_log().items():
+        # One merge serves both the store replay and the serialisability
+        # log; the transaction is torn down below, so the dict is final.
+        merged_log = txn.merged_write_log()
+        for word, value in merged_log.items():
             self.memory.store(word, value)
-        self.committed_logs.append((txn.txn_id, txn.merged_write_log()))
+        self.committed_logs.append((txn.txn_id, merged_log))
         self.commit_order.append(txn.txn_id)
 
         # Propagate the committed data: the writeback of each written
@@ -605,16 +614,17 @@ class TmSystem(SpecSystemCore):
         self.stats.dependence_granules += dependence_granules
         per_proc = self.stats.squashes_by_processor
         per_proc[victim.pid] = per_proc.get(victim.pid, 0) + 1
-        self.note_squash(
-            cause,
-            count_false_positive=false_positive,
-            victim=victim.pid,
-            txn=txn.txn_id,
-            false_positive=false_positive,
-            dependence_granules=dependence_granules,
-            from_section=from_section,
-            clock=now,
-        )
+        if self.obs_enabled:
+            self.note_squash(
+                cause,
+                count_false_positive=false_positive,
+                victim=victim.pid,
+                txn=txn.txn_id,
+                false_positive=false_positive,
+                dependence_granules=dependence_granules,
+                from_section=from_section,
+                clock=now,
+            )
 
         partial = self.params.partial_rollback and from_section > 0
         self.scheme.squash_cleanup(self, victim, from_section if partial else 0)

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Set
 from repro.core.signature import Signature
 from repro.core.signature_config import SignatureConfig
 from repro.errors import SimulationError
-from repro.mem.address import byte_to_line, byte_to_word
+from repro.mem.address import LINE_SHIFT, WORD_SHIFT
 
 
 class Section:
@@ -158,15 +158,17 @@ class TxnState:
 
     def record_load(self, byte_address: int) -> None:
         """Record a load into the current section's exact sets."""
-        line = byte_to_line(byte_address)
-        self.current.read_granules.add(line)
+        # Shifts inlined (== byte_to_line): this runs on every speculative
+        # load of every exact and Bulk TM run.
+        line = byte_address >> LINE_SHIFT
+        self.sections[-1].read_granules.add(line)
         self._agg_read.add(line)
 
     def record_store(self, byte_address: int, value: int) -> None:
         """Record a store into the current section's log and exact sets."""
-        section = self.current
-        line = byte_to_line(byte_address)
-        section.write_log[byte_to_word(byte_address)] = value & 0xFFFFFFFF
+        section = self.sections[-1]
+        line = byte_address >> LINE_SHIFT
+        section.write_log[byte_address >> WORD_SHIFT] = value & 0xFFFFFFFF
         section.write_granules.add(line)
         section.write_lines.add(line)
         self._agg_write.add(line)
@@ -177,7 +179,10 @@ class TxnState:
 
     def lookup_word(self, word_address: int) -> Optional[int]:
         """Newest speculative value of a word, or ``None`` if unwritten."""
-        for section in reversed(self.sections):
+        sections = self.sections
+        if len(sections) == 1:  # the common, un-nested case
+            return sections[0].write_log.get(word_address)
+        for section in reversed(sections):
             value = section.write_log.get(word_address)
             if value is not None:
                 return value
