@@ -8,6 +8,9 @@ in CI:
 * **ops/sec** for the primitive hot operations — signature address
   insertion (single and batched), delta decode (cold and memoised), and
   RLE commit-packet encoding;
+* **per-backend batch-insert throughput** for every resolvable
+  signature backend (``--sig-backend``), with the pinned
+  ``numpy_vs_packed_add_many`` speedup (acceptance floor: >=5x);
 * **wall-time** for a small TM, TLS, and checkpoint reproduce (the TM
   and TLS points are the pair the pre-PR baseline pinned; their sum
   yields the recorded end-to-end speedup);
@@ -121,6 +124,50 @@ def bench_core_ops(quick: bool) -> dict:
     return {name: round(value, 1) for name, value in results.items()}
 
 
+def bench_backend_ops(quick: bool) -> dict:
+    """Per-backend batch-insert throughput, ops/sec, plus the pinned
+    numpy-vs-packed speedup on ``add_many`` (the acceptance floor is
+    >=5x on the full sizing).
+
+    Backends that fall back (numpy not installed) are reported under the
+    backend they resolved to, and the speedup is omitted.
+    """
+    import random
+
+    from repro.core.backend import backend_names, resolve_backend
+    from repro.core.signature_config import default_tm_config
+
+    config = default_tm_config()
+    rng = random.Random(5)
+    n = 2_000 if quick else 20_000
+    repeats = 1 if quick else 3
+    addresses = [rng.randrange(1 << 26) for _ in range(n)]
+
+    throughput = {}
+    for name in backend_names():
+        backend = resolve_backend(name)
+        if backend.name != name:
+            continue  # fell back; the fallback itself is measured
+
+        def add_many_batch(backend=backend):
+            signature = backend.make_signature(config)
+            signature.add_many(addresses)
+            # Force any write-combining buffer to materialise so the
+            # timing covers the full encode, not a deferred promise.
+            signature.to_flat_int()
+
+        throughput[name] = round(
+            _ops_per_sec(add_many_batch, n, repeats), 1
+        )
+
+    result = {"add_many_ops_per_sec": throughput}
+    if "numpy" in throughput and "packed" in throughput:
+        result["numpy_vs_packed_add_many"] = round(
+            throughput["numpy"] / throughput["packed"], 2
+        )
+    return result
+
+
 def bench_reproduce(quick: bool) -> dict:
     """Wall-times of small end-to-end reproduces (seconds)."""
     from repro.analysis.experiments import (
@@ -231,6 +278,7 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "python": platform.python_version(),
         "core_ops_per_sec": bench_core_ops(args.quick),
+        "signature_backends": bench_backend_ops(args.quick),
         "reproduce": bench_reproduce(args.quick),
         "timed_bus_memo": bench_timed_bus_memo(args.quick),
     }
@@ -243,6 +291,10 @@ def main(argv=None) -> int:
             f"{BASELINE['total_seconds']}s -> "
             f"{reproduce['speedup_vs_baseline']}x"
         )
+    backends = payload["signature_backends"]
+    speedup = backends.get("numpy_vs_packed_add_many")
+    if speedup is not None:
+        print(f"add_many numpy vs packed: {speedup}x")
     return 0
 
 

@@ -45,6 +45,23 @@ def _apply_bus(params, bus: Optional[str]):
     return replace(params, interconnect=InterconnectConfig.parse(bus))
 
 
+def _apply_sig_backend(params, sig_backend: Optional[str]):
+    """Overlay a ``--sig-backend`` name onto substrate parameters.
+
+    Follows the :func:`_apply_bus` contract: ``None`` preserves the
+    params object identity (golden-artifact safety).  A given name is
+    validated against the backend registry immediately so a typo raises
+    the typed :class:`~repro.errors.UnknownBackendError` before any
+    simulation work.
+    """
+    if sig_backend is None:
+        return params
+    from repro.core.backend import backend_entry
+
+    backend_entry(sig_backend)
+    return replace(params, sig_backend=sig_backend)
+
+
 @dataclass
 class TmComparison:
     """One application's results under Eager, Lazy, Bulk (and optionally
@@ -111,6 +128,7 @@ def run_tm_comparison(
     collect_samples: bool = False,
     obs: "Optional[Observability]" = None,
     bus: Optional[str] = None,
+    sig_backend: Optional[str] = None,
 ) -> TmComparison:
     """Run one TM application under every scheme.
 
@@ -125,8 +143,13 @@ def run_tm_comparison(
     ``bus`` (optional) is an interconnect spec string such as
     ``"timed:latency=4,policy=round-robin"`` selecting the timed bus
     model for every per-scheme run; ``None`` keeps the legacy bus.
+
+    ``sig_backend`` (optional) selects the signature storage backend by
+    registry name; ``None`` keeps the params' backend (``packed`` by
+    default).  Every backend is bit-identical, so results do not change.
     """
     params = _apply_bus(params, bus)
+    params = _apply_sig_backend(params, sig_backend)
     comparison = TmComparison(app=app)
     # One build serves every scheme: traces are immutable (tuples of
     # frozen events), and rebuilding with the same seed produced the
@@ -180,13 +203,16 @@ def run_tls_comparison(
     schemes: Optional[List[str]] = None,
     obs: "Optional[Observability]" = None,
     bus: Optional[str] = None,
+    sig_backend: Optional[str] = None,
 ) -> TlsComparison:
     """Run one TLS application under every registered TLS scheme.
 
     ``bus`` (optional) selects the interconnect model by spec string;
-    ``None`` keeps the legacy synchronous bus.
+    ``None`` keeps the legacy synchronous bus.  ``sig_backend``
+    (optional) selects the signature storage backend by registry name.
     """
     params = _apply_bus(params, bus)
+    params = _apply_sig_backend(params, sig_backend)
     if schemes is None:
         schemes = list(scheme_names("tls"))
     comparison = TlsComparison(app=app)
@@ -232,14 +258,17 @@ def run_checkpoint_comparison(
     params: CheckpointParams = CHECKPOINT_DEFAULTS,
     obs: "Optional[Observability]" = None,
     bus: Optional[str] = None,
+    sig_backend: Optional[str] = None,
 ) -> CheckpointComparison:
     """Run one checkpoint workload under every registered scheme.
 
     Every scheme consumes the identical (immutable) epoch stream at the
     same rollback depth, so cycle and bandwidth ratios are meaningful.
-    ``bus`` (optional) selects the interconnect model by spec string.
+    ``bus`` (optional) selects the interconnect model by spec string;
+    ``sig_backend`` (optional) selects the signature storage backend.
     """
     params = _apply_bus(params, bus)
+    params = _apply_sig_backend(params, sig_backend)
     comparison = CheckpointComparison(app=app, rollback_depth=rollback_depth)
     epochs = build_checkpoint_workload(app, num_epochs=num_epochs, seed=seed)
     for name in scheme_names("checkpoint"):

@@ -30,6 +30,10 @@ class CheckpointParams:
     #: Live checkpoints the processor can hold — one BDM version context
     #: each (Figure 7: contexts buffer "multiple checkpoints").
     max_live_checkpoints: int = 4
+    #: Signature storage backend (``repro.core.backend`` registry name).
+    #: All backends are bit-identical; ``numpy`` falls back to ``packed``
+    #: when unavailable.
+    sig_backend: str = "packed"
 
     # -- timing (cycles) ------------------------------------------------
     #: L1 hit latency (Table 5: round trip 2 cycles).

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 from repro.cache.cache import Cache
 from repro.cache.geometry import CacheGeometry, TM_L1_GEOMETRY
+from repro.core.backend.base import SignatureBackend
 from repro.core.bdm import (
     BulkDisambiguationModule,
     SetRestrictionAction,
@@ -59,12 +60,13 @@ class CheckpointedProcessor:
         config: Optional[SignatureConfig] = None,
         geometry: CacheGeometry = TM_L1_GEOMETRY,
         max_checkpoints: int = 4,
+        backend: Optional["SignatureBackend"] = None,
     ) -> None:
         self.memory = memory if memory is not None else WordMemory()
         self.config = config if config is not None else default_tm_config()
         self.cache = Cache(geometry)
         self.bdm = BulkDisambiguationModule(
-            self.config, geometry, num_contexts=max_checkpoints
+            self.config, geometry, num_contexts=max_checkpoints, backend=backend
         )
         self._checkpoints: List[Checkpoint] = []
         self._next_index = 0

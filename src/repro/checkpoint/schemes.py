@@ -71,11 +71,14 @@ class BulkCheckpointScheme(CheckpointScheme):
     name = "Bulk"
 
     def make_engine(self, params: CheckpointParams) -> CheckpointedProcessor:
+        from repro.core.backend import resolve_backend
+
         return CheckpointedProcessor(
             memory=WordMemory(),
             config=params.signature_config,
             geometry=params.geometry,
             max_checkpoints=params.max_live_checkpoints,
+            backend=resolve_backend(params.sig_backend),
         )
 
     def commit_packet(

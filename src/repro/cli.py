@@ -69,6 +69,36 @@ def _add_bus_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sig_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """The ``--sig-backend`` flag, shared by every simulation subcommand.
+
+    Choices come from the backend registry, never a literal list.
+    """
+    from repro.core.backend import DEFAULT_BACKEND_NAME, backend_names
+
+    parser.add_argument(
+        "--sig-backend", choices=backend_names(), default=DEFAULT_BACKEND_NAME,
+        help="signature storage backend (all are bit-identical; 'numpy' "
+        "vectorises batch operations and falls back to 'packed' when "
+        "numpy is unavailable)",
+    )
+
+
+def _sig_backend_spec(args: argparse.Namespace) -> Optional[str]:
+    """The non-default ``--sig-backend`` choice, or ``None`` at default.
+
+    ``None`` means callers pass *no* backend knob at all, keeping grid
+    cache keys and the golden artifacts byte-identical to builds that
+    predate the flag (the :func:`_bus_spec` contract).
+    """
+    from repro.core.backend import DEFAULT_BACKEND_NAME
+
+    name = getattr(args, "sig_backend", DEFAULT_BACKEND_NAME)
+    if name == DEFAULT_BACKEND_NAME:
+        return None
+    return name
+
+
 def _bus_spec(args: argparse.Namespace) -> Optional[str]:
     """The canonical interconnect spec of the ``--bus-*`` flags.
 
@@ -162,6 +192,7 @@ def _cmd_tm(args: argparse.Namespace) -> int:
         include_partial=args.partial,
         obs=obs,
         bus=bus,
+        sig_backend=_sig_backend_spec(args),
     )
     rows = []
     for scheme in scheme_names("tm", include_variants=args.partial):
@@ -201,7 +232,12 @@ def _cmd_tls(args: argparse.Namespace) -> int:
     obs, writer = _open_observability(args)
     bus = _bus_spec(args)
     comparison = run_tls_comparison(
-        args.app, num_tasks=args.tasks, seed=args.seed, obs=obs, bus=bus
+        args.app,
+        num_tasks=args.tasks,
+        seed=args.seed,
+        obs=obs,
+        bus=bus,
+        sig_backend=_sig_backend_spec(args),
     )
     rows = []
     for scheme in scheme_names("tls"):
@@ -265,6 +301,9 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         return 2
     bus = _bus_spec(args)
     extra_knobs = {} if bus is None else {"bus": bus}
+    sig_backend = _sig_backend_spec(args)
+    if sig_backend is not None:
+        extra_knobs["sig_backend"] = sig_backend
     points = {
         depth: checkpoint_point(
             args.app,
@@ -411,6 +450,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         return 2
     bus = _bus_spec(args)
     extra_knobs = {} if bus is None else {"bus": bus}
+    sig_backend = _sig_backend_spec(args)
+    if sig_backend is not None:
+        extra_knobs["sig_backend"] = sig_backend
     tls_points = {
         app: tls_point(
             app, seed=args.seed, num_tasks=args.tls_tasks, **extra_knobs
@@ -603,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
     tm.add_argument("--metrics-out", default=None, metavar="PATH",
                     help="write the metrics snapshot as JSON")
     _add_bus_arguments(tm)
+    _add_sig_backend_argument(tm)
     tm.set_defaults(func=_cmd_tm)
 
     tls = sub.add_parser("tls", help="run one TLS workload under every scheme")
@@ -614,6 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
     tls.add_argument("--metrics-out", default=None, metavar="PATH",
                     help="write the metrics snapshot as JSON")
     _add_bus_arguments(tls)
+    _add_sig_backend_argument(tls)
     tls.set_defaults(func=_cmd_tls)
 
     checkpoint = sub.add_parser(
@@ -638,6 +682,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write merged + per-point metrics as JSON "
                             "(enables instrumentation)")
     _add_bus_arguments(checkpoint)
+    _add_sig_backend_argument(checkpoint)
     checkpoint.set_defaults(func=_cmd_checkpoint)
 
     accuracy = sub.add_parser(
@@ -679,6 +724,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write merged + per-point metrics as JSON "
                            "(enables instrumentation)")
     _add_bus_arguments(reproduce)
+    _add_sig_backend_argument(reproduce)
     reproduce.set_defaults(func=_cmd_reproduce)
 
     return parser

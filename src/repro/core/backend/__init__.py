@@ -1,0 +1,49 @@
+"""Selectable signature storage backends (``pure | packed | numpy``).
+
+The public surface:
+
+* :func:`resolve_backend` / :func:`backend_names` /
+  :func:`register_backend` — the registry (mirrors
+  :mod:`repro.spec.registry`; unknown names raise the typed
+  :class:`~repro.errors.UnknownBackendError`).
+* :class:`SignatureBackend` — the strategy object a backend implements:
+  a :class:`~repro.core.signature.Signature` subclass over its storage
+  plus an epoch-level :class:`SignatureBank` for batched commit-time
+  disambiguation.
+* ``DEFAULT_BACKEND_NAME`` — ``"packed"``, the big-int storage the base
+  :class:`~repro.core.signature.Signature` implements and the golden
+  artifacts are pinned under.
+
+Every registered backend is bit-compatible with every other — the
+conformance suite (``tests/core/test_backend_conformance.py``) runs one
+shared battery over each registered name, so a new backend is
+conformance tested by registration alone.  See ``docs/BACKENDS.md``.
+"""
+
+from repro.core.backend.base import (
+    PackedSignatureBackend,
+    SignatureBackend,
+    SignatureBank,
+)
+from repro.core.backend.registry import (
+    DEFAULT_BACKEND_NAME,
+    BackendEntry,
+    backend_entry,
+    backend_names,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "DEFAULT_BACKEND_NAME",
+    "BackendEntry",
+    "PackedSignatureBackend",
+    "SignatureBackend",
+    "SignatureBank",
+    "backend_entry",
+    "backend_names",
+    "register_backend",
+    "resolve_backend",
+    "unregister_backend",
+]

@@ -1,0 +1,325 @@
+"""The ``numpy`` backend: packed ``uint64`` ndarray signature storage.
+
+Importing this module requires numpy — the registry treats an
+:class:`ImportError` here as "backend unavailable" and degrades to
+``packed`` (see :mod:`repro.core.backend.registry`).
+
+Storage layout
+--------------
+A :class:`NumpySignature` keeps its register as ``ceil(size_bits / 64)``
+little-endian ``uint64`` words (``words[0]`` bit 0 is flat bit 0 — the
+low end of V_1, exactly the wire format).  Scalar insertions are
+*write-combined*: :meth:`NumpySignature.add_mask` ORs into a pending
+big-int accumulator (as cheap as the packed backend's hot path) that is
+flushed into the word array on the next array-side read, so the
+per-access recording paths of the simulators do not pay a python→numpy
+conversion per store.
+
+Batched kernels
+---------------
+* :meth:`NumpyLayout.encode_words` — the vectorised ``add_many``: the
+  bit permutation is applied to the whole address vector via the same
+  256-entry byte tables the scalar
+  :class:`~repro.core.permutation.BitPermutation` uses, each C_i chunk
+  is sliced out with shifts/masks, the resulting global bit positions
+  are scattered into a boolean plane (duplicate positions collapse for
+  free), and ``np.packbits(..., bitorder="little")`` packs the plane
+  into the word array.
+* :meth:`NumpySignature.intersects` / ``union_update`` / ``&`` / ``|``
+  — array bitwise ops; per-field emptiness uses a precomputed
+  ``(n_fields, n_words)`` field word-mask matrix because V_i fields are
+  not generally 64-bit aligned (S2's 5-bit chunks, S21's mixed sizes).
+* :class:`NumpySignatureBank` — all receivers' (R, W) rows in one
+  ``(n_rows, n_words)`` matrix; Equation 1 against every receiver is a
+  single broadcast AND + ``any`` reduction.
+
+Everything is bit-identical to the packed backend — the conformance
+suite and the golden reproduce pin enforce it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.backend.base import SignatureBackend, SignatureBank
+from repro.core.signature import Signature
+from repro.core.signature_config import SignatureConfig
+
+#: Explicit little-endian words: ``tobytes()``/``frombuffer`` round-trips
+#: through ``int.to_bytes(..., "little")`` stay correct on any host.
+WORD_DTYPE = np.dtype("<u8")
+
+
+class NumpyLayout:
+    """Per-configuration constants of the vectorised kernels.
+
+    Built once per :class:`~repro.core.signature_config.SignatureConfig`
+    (see :func:`layout_for`): the word count, the permutation's byte
+    tables as ndarray lookup tables, each field's (offset, chunk shift,
+    chunk mask) triple, and the per-field word masks used for emptiness
+    reductions over word arrays.
+    """
+
+    __slots__ = (
+        "size_bits",
+        "num_words",
+        "tables",
+        "field_specs",
+        "field_word_masks",
+    )
+
+    def __init__(self, config: SignatureConfig) -> None:
+        layout = config.layout
+        self.size_bits = layout.signature_bits
+        self.num_words = (self.size_bits + 63) // 64
+        # The scalar permutation already precomputes one 256-entry
+        # lookup table per address byte; the vectorised apply is the
+        # same tables indexed by a whole address vector.
+        self.tables = [
+            np.array(table, dtype=np.int64)
+            for table in config.permutation._byte_tables
+        ]
+        self.field_specs = [
+            (field_offset, chunk_offset, (1 << chunk_size) - 1)
+            for field_offset, chunk_offset, chunk_size in zip(
+                layout.field_offsets, layout.chunk_offsets, layout.chunk_sizes
+            )
+        ]
+        self.field_word_masks = np.stack(
+            [self.words_from_int(mask) for mask in layout.field_masks]
+        )
+
+    def new_words(self) -> "np.ndarray":
+        """A fresh all-zero word array."""
+        return np.zeros(self.num_words, dtype=WORD_DTYPE)
+
+    def words_from_int(self, flat: int) -> "np.ndarray":
+        """The flat wire format as a (mutable) word array."""
+        return self.words_view(flat).copy()
+
+    def words_view(self, flat: int) -> "np.ndarray":
+        """Read-only word view of a flat value (no copy)."""
+        return np.frombuffer(
+            flat.to_bytes(self.num_words * 8, "little"), dtype=WORD_DTYPE
+        )
+
+    def int_from_words(self, words: "np.ndarray") -> int:
+        """The word array packed back into the flat wire format."""
+        return int.from_bytes(words.tobytes(), "little")
+
+    def encode_words(
+        self, addresses: Iterable[int]
+    ) -> "Optional[np.ndarray]":
+        """The batched build kernel: a whole address set as a word array.
+
+        Bit-identical to ORing
+        :meth:`~repro.core.signature_config.SignatureConfig.flat_mask`
+        over the set: vectorised byte-table permute, chunk slicing, and
+        a boolean-plane scatter (duplicates collapse) packed little-end
+        first.  Returns ``None`` for an empty input.
+        """
+        array = np.fromiter(addresses, dtype=np.int64)
+        if array.size == 0:
+            return None
+        permuted = self.tables[0][array & 0xFF]
+        shift = 8
+        for table in self.tables[1:]:
+            permuted |= table[(array >> shift) & 0xFF]
+            shift += 8
+        plane = np.zeros(self.num_words * 64, dtype=bool)
+        for field_offset, chunk_offset, chunk_mask in self.field_specs:
+            plane[((permuted >> chunk_offset) & chunk_mask) + field_offset] = True
+        return np.packbits(plane, bitorder="little").view(WORD_DTYPE)
+
+
+#: One layout per configuration; configs are few and hashable, so a plain
+#: dict memo suffices (equal configs share an entry).
+_LAYOUTS: Dict[SignatureConfig, NumpyLayout] = {}
+
+
+def layout_for(config: SignatureConfig) -> NumpyLayout:
+    """The memoised :class:`NumpyLayout` of a configuration."""
+    layout = _LAYOUTS.get(config)
+    if layout is None:
+        layout = _LAYOUTS[config] = NumpyLayout(config)
+    return layout
+
+
+class NumpySignature(Signature):
+    """A signature register stored as packed little-endian uint64 words.
+
+    The inherited ``_flat`` slot is a memo of the wire format (``None``
+    while stale); ``_pending`` write-combines scalar ``add_mask`` calls
+    until the next array-side read.
+    """
+
+    __slots__ = ("_layout", "_words", "_pending")
+
+    backend_name = "numpy"
+
+    def __init__(self, config: SignatureConfig) -> None:
+        super().__init__(config)
+        self._layout = layout_for(config)
+        self._words = self._layout.new_words()
+        self._pending = 0
+
+    def words(self) -> "np.ndarray":
+        """The register's word array, with pending scalar ORs flushed.
+
+        The returned array is the live storage — callers must not
+        mutate it.
+        """
+        pending = self._pending
+        if pending:
+            np.bitwise_or(
+                self._words, self._layout.words_view(pending), out=self._words
+            )
+            self._pending = 0
+        return self._words
+
+    # -- storage primitives -------------------------------------------
+
+    def _load_flat(self, flat: int, fields: Optional[List[int]] = None) -> None:
+        self._words = self._layout.words_from_int(flat)
+        self._pending = 0
+        self._flat = flat
+        self._fields = fields
+
+    def add_mask(self, mask: int) -> None:
+        if mask:
+            self._pending |= mask
+            self._flat = None
+            self._fields = None
+
+    def add_many(self, addresses: Iterable[int]) -> None:
+        delta = self._layout.encode_words(addresses)
+        if delta is None:
+            return
+        np.bitwise_or(self.words(), delta, out=self._words)
+        self._flat = None
+        self._fields = None
+
+    def clear(self) -> None:
+        self._words.fill(0)
+        self._pending = 0
+        self._flat = 0
+        self._fields = None
+
+    def to_flat_int(self) -> int:
+        flat = self._flat
+        if flat is None:
+            flat = self._flat = self._layout.int_from_words(self.words())
+        return flat
+
+    # -- array-path operations ----------------------------------------
+
+    def _field_nonempty_all(self, words: "np.ndarray") -> bool:
+        """Whether every V_i field has a set bit in ``words``."""
+        hits = words & self._layout.field_word_masks
+        return bool((hits != 0).any(axis=1).all())
+
+    def intersects(self, other: Signature) -> bool:
+        if isinstance(other, NumpySignature):
+            self._check_compatible(other)
+            both = self.words() & other.words()
+            if not both.any():
+                return False
+            return self._field_nonempty_all(both)
+        return super().intersects(other)
+
+    def union_update(self, other: Signature) -> None:
+        if isinstance(other, NumpySignature):
+            self._check_compatible(other)
+            np.bitwise_or(self.words(), other.words(), out=self._words)
+            self._flat = None
+            self._fields = None
+            return
+        super().union_update(other)
+
+    def _with_words(self, words: "np.ndarray") -> "NumpySignature":
+        result = NumpySignature(self.config)
+        result._words = words
+        result._flat = None
+        return result
+
+    def __and__(self, other: Signature) -> Signature:
+        if isinstance(other, NumpySignature):
+            self._check_compatible(other)
+            return self._with_words(self.words() & other.words())
+        return super().__and__(other)
+
+    def __or__(self, other: Signature) -> Signature:
+        if isinstance(other, NumpySignature):
+            self._check_compatible(other)
+            return self._with_words(self.words() | other.words())
+        return super().__or__(other)
+
+    def copy(self) -> "NumpySignature":
+        duplicate = self._with_words(self.words().copy())
+        duplicate._flat = self._flat
+        return duplicate
+
+
+class NumpySignatureBank(SignatureBank):
+    """An epoch's signatures as one matrix; Equation 1 as a broadcast.
+
+    Rows are stacked into ``(n_rows, n_words)`` read and write matrices;
+    :meth:`conflict_flags` ANDs the committed write signature against
+    both matrices at once and reduces per-field emptiness over the
+    precomputed field word masks — one vectorised pass for *all*
+    receivers.
+    """
+
+    def __init__(self, config: SignatureConfig) -> None:
+        super().__init__(config)
+        self._layout = layout_for(config)
+
+    def _row_words(self, signature: Signature) -> "np.ndarray":
+        if isinstance(signature, NumpySignature):
+            return signature.words()
+        return self._layout.words_view(signature.to_flat_int())
+
+    def conflict_flags(self, committed_write: Signature) -> Dict[Any, bool]:
+        if not self._rows:
+            return {}
+        committed = self._row_words(committed_write)
+        reads = np.stack([self._row_words(read) for read, _ in self._rows])
+        writes = np.stack([self._row_words(write) for _, write in self._rows])
+        masks = self._layout.field_word_masks  # (n_fields, n_words)
+
+        def row_hits(matrix: "np.ndarray") -> "np.ndarray":
+            anded = matrix & committed  # (n_rows, n_words)
+            per_field = anded[:, None, :] & masks  # (n_rows, n_fields, n_words)
+            return (per_field != 0).any(axis=2).all(axis=1)
+
+        flags = row_hits(reads) | row_hits(writes)
+        return {key: bool(flag) for key, flag in zip(self._keys, flags)}
+
+
+class NumpySignatureBackend(SignatureBackend):
+    """uint64-ndarray storage with vectorised batch kernels."""
+
+    name = "numpy"
+    signature_class = NumpySignature
+    batched = True
+
+    def make_bank(self, config: SignatureConfig) -> NumpySignatureBank:
+        return NumpySignatureBank(config)
+
+    def intersect_any(
+        self, signature: Signature, others: Sequence[Signature]
+    ) -> bool:
+        if not others:
+            return False
+        layout = layout_for(signature.config)
+
+        def row(sig: Signature) -> "np.ndarray":
+            if isinstance(sig, NumpySignature):
+                return sig.words()
+            return layout.words_view(sig.to_flat_int())
+
+        anded = np.stack([row(other) for other in others]) & row(signature)
+        per_field = anded[:, None, :] & layout.field_word_masks
+        return bool((per_field != 0).any(axis=2).all(axis=1).any())

@@ -1,0 +1,170 @@
+"""The signature-backend registry: one authoritative name → backend map.
+
+Mirrors the scheme registry (:mod:`repro.spec.registry`): the CLI's
+``--sig-backend`` choices, the drivers' ``sig_backend`` knob, and the
+conformance suite all *derive* their backend lists from here instead of
+repeating literal tuples; unknown lookups raise the typed
+:class:`~repro.errors.UnknownBackendError` listing the registered
+alternatives, in registration order.
+
+Backends are stateless kernel bundles, so — unlike schemes, which hold
+per-run state and are built fresh each resolve — resolved instances are
+cached per name.
+
+Optional dependencies degrade gracefully: a backend may register with a
+``fallback``; when its factory raises :class:`ImportError` (numpy not
+installed), :func:`resolve_backend` emits **one** warning per process
+(through the given ``warn`` callable, e.g. a tracer's ``warn``, or
+:mod:`warnings` otherwise) and resolves the fallback instead, so
+``--sig-backend numpy`` on a numpy-less host runs the identical
+``packed`` semantics rather than failing.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.backend.base import (
+    PackedSignatureBackend,
+    SignatureBackend,
+)
+from repro.errors import ConfigurationError, UnknownBackendError
+
+#: The backend every params dataclass defaults to — the one whose
+#: results every golden artifact was pinned under.
+DEFAULT_BACKEND_NAME = "packed"
+
+
+class BackendEntry:
+    """One registered backend: identity, factory, and degrade target."""
+
+    __slots__ = ("name", "factory", "fallback")
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[[], SignatureBackend],
+        fallback: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.factory = factory
+        self.fallback = fallback
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        degrade = f", fallback={self.fallback!r}" if self.fallback else ""
+        return f"BackendEntry({self.name!r}{degrade})"
+
+
+# name -> BackendEntry, in registration order (presentation order).
+_REGISTRY: Dict[str, BackendEntry] = {}
+#: Resolved instances (backends are stateless; one instance per name).
+_INSTANCES: Dict[str, SignatureBackend] = {}
+#: Names whose unavailability has already been warned about.
+_FALLBACK_WARNED: Set[str] = set()
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], SignatureBackend],
+    *,
+    fallback: Optional[str] = None,
+) -> BackendEntry:
+    """Register ``factory`` as the backend ``name``.
+
+    ``factory`` takes no arguments and returns a
+    :class:`~repro.core.backend.base.SignatureBackend`; it may raise
+    :class:`ImportError` when an optional dependency is missing, in
+    which case resolution degrades to ``fallback`` (which must itself be
+    registered by resolve time).  Registering a name twice is a
+    configuration error; tests that replace an entry unregister first.
+    """
+    if name in _REGISTRY:
+        raise ConfigurationError(
+            f"signature backend {name!r} is already registered"
+        )
+    entry = BackendEntry(name, factory, fallback=fallback)
+    _REGISTRY[name] = entry
+    return entry
+
+
+def unregister_backend(name: str) -> None:
+    """Remove one registration (test helper; unknown names raise)."""
+    entry = backend_entry(name)
+    del _REGISTRY[entry.name]
+    _INSTANCES.pop(entry.name, None)
+
+
+def backend_entry(name: str) -> BackendEntry:
+    """The :class:`BackendEntry` for ``name``.
+
+    Raises :class:`~repro.errors.UnknownBackendError` for unknown names,
+    listing the registered alternatives.
+    """
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise UnknownBackendError(name, known=list(_REGISTRY))
+    return entry
+
+
+def backend_names() -> List[str]:
+    """Registered backend names, in registration order."""
+    return list(_REGISTRY)
+
+
+def resolve_backend(
+    name: str, warn: Optional[Callable[[str], None]] = None
+) -> SignatureBackend:
+    """The (cached) backend instance for ``name``.
+
+    This is the one place backend names turn into objects; a misspelling
+    gets the typed :class:`~repro.errors.UnknownBackendError`.  When the
+    backend's factory raises :class:`ImportError` and the entry declares
+    a fallback, the fallback is resolved instead after a single
+    per-process warning (sent through ``warn`` when given — typically a
+    tracer's ``warn`` — or :func:`warnings.warn` otherwise).
+    """
+    entry = backend_entry(name)
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    try:
+        instance = entry.factory()
+    except ImportError as exc:
+        if entry.fallback is None:
+            raise
+        message = (
+            f"signature backend {name!r} is unavailable ({exc}); "
+            f"falling back to {entry.fallback!r}"
+        )
+        if name not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(name)
+            if warn is not None:
+                warn(message)
+            else:
+                warnings.warn(message, RuntimeWarning, stacklevel=2)
+        return resolve_backend(entry.fallback, warn=warn)
+    _INSTANCES[name] = instance
+    return instance
+
+
+def _pure_factory() -> SignatureBackend:
+    from repro.core.backend.pure import PureSignatureBackend
+
+    return PureSignatureBackend()
+
+
+def _numpy_factory() -> SignatureBackend:
+    # Raises ImportError when numpy is not installed; the registry
+    # degrades to the packed fallback declared below.
+    from repro.core.backend.numpy_backend import NumpySignatureBackend
+
+    return NumpySignatureBackend()
+
+
+# Builtin registrations, in presentation order.  ``pure`` and ``numpy``
+# import lazily so a default run never pays for storage backends it does
+# not select (and never needs numpy at all).
+register_backend("pure", _pure_factory)
+register_backend("packed", PackedSignatureBackend)
+register_backend("numpy", _numpy_factory, fallback="packed")

@@ -27,6 +27,7 @@ from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.cache.cache import Cache
 from repro.cache.geometry import CacheGeometry
+from repro.core.backend.base import SignatureBackend
 from repro.core.decode import CachedDecoder
 from repro.core.disambiguation import DisambiguationResult, disambiguate
 from repro.core.expansion import expand_signature
@@ -71,10 +72,16 @@ class BdmStats:
 
 
 class VersionContext:
-    """One speculative version's signature state within a BDM."""
+    """One speculative version's signature state within a BDM.
+
+    ``backend`` selects the signature storage
+    (:mod:`repro.core.backend`); ``None`` keeps the default packed
+    registers.
+    """
 
     __slots__ = (
         "slot",
+        "backend",
         "owner",
         "read_signature",
         "write_signature",
@@ -84,11 +91,18 @@ class VersionContext:
         "active",
     )
 
-    def __init__(self, slot: int, config: SignatureConfig) -> None:
+    def __init__(
+        self,
+        slot: int,
+        config: SignatureConfig,
+        backend: "Optional[SignatureBackend]" = None,
+    ) -> None:
         self.slot = slot
+        self.backend = backend
+        make = Signature if backend is None else backend.make_signature
         self.owner: Optional[int] = None
-        self.read_signature = Signature(config)
-        self.write_signature = Signature(config)
+        self.read_signature = make(config)
+        self.write_signature = make(config)
         #: TLS Partial Overlap shadow write signature (Figure 9); ``None``
         #: until :meth:`start_shadow` is called at first-child spawn.
         self.shadow_write_signature: Optional[Signature] = None
@@ -100,7 +114,11 @@ class VersionContext:
 
     def start_shadow(self) -> None:
         """Begin maintaining the shadow write signature (at child spawn)."""
-        self.shadow_write_signature = Signature(self.write_signature.config)
+        config = self.write_signature.config
+        if self.backend is None:
+            self.shadow_write_signature = Signature(config)
+        else:
+            self.shadow_write_signature = self.backend.make_signature(config)
 
     def clear(self) -> None:
         """Gang-clear all signatures — this is how a thread commits."""
@@ -148,6 +166,9 @@ class BulkDisambiguationModule:
     require_exact_delta:
         Enforce the Section 4.3 exactness requirement.  Disable only for
         accuracy experiments that never perform bulk invalidation.
+    backend:
+        Signature storage backend (:mod:`repro.core.backend`) for every
+        context's registers; ``None`` keeps the default packed storage.
     """
 
     def __init__(
@@ -156,11 +177,13 @@ class BulkDisambiguationModule:
         geometry: CacheGeometry,
         num_contexts: int = 4,
         require_exact_delta: bool = True,
+        backend: "Optional[SignatureBackend]" = None,
     ) -> None:
         if num_contexts <= 0:
             raise ConfigurationError("a BDM needs at least one version context")
         self.config = config
         self.geometry = geometry
+        self.backend = backend
         # The memoised decoder is the single swap point that puts the
         # decode fast path under every substrate's expansion sites
         # (TM/TLS commit and squash invalidation, checkpoint rollback).
@@ -169,7 +192,7 @@ class BulkDisambiguationModule:
         if require_exact_delta:
             self.decoder.require_exact()
         self.contexts: List[VersionContext] = [
-            VersionContext(slot, config) for slot in range(num_contexts)
+            VersionContext(slot, config, backend) for slot in range(num_contexts)
         ]
         self.running: Optional[VersionContext] = None
         self.stats = BdmStats()

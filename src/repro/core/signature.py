@@ -21,21 +21,31 @@ member of ``A`` (no false negatives) and possibly aliases (false
 positives).  Aliasing hurts performance, never correctness — the test
 suite's property tests pin both halves of that contract.
 
-Representation
---------------
-The primary storage is the *flat* integer — all V_i fields concatenated,
-V_1 at the low end, exactly the wire format of :meth:`Signature.to_flat_int`.
-Intersection, union, and the hot :meth:`Signature.intersects` are then
-single big-int bitwise operations; per-field views are rebuilt lazily (and
-cached) only when a caller actually needs them (:attr:`Signature.fields`,
-:meth:`Signature.field_values`, the delta decode).  The per-field list
-semantics are unchanged — the property tests run every operation against
+Representation and backends
+---------------------------
+This class is the **packed** storage backend: the register is one Python
+integer — all V_i fields concatenated, V_1 at the low end, exactly the
+wire format of :meth:`Signature.to_flat_int`.  Intersection, union, and
+the hot :meth:`Signature.intersects` are then single big-int bitwise
+operations; per-field views are rebuilt lazily (and cached) only when a
+caller actually needs them (:attr:`Signature.fields`,
+:meth:`Signature.field_values`, the delta decode).
+
+Alternative storage backends (:mod:`repro.core.backend`) subclass this
+and replace the storage while keeping the public surface: every mutation
+funnels through the single :meth:`Signature.add_mask` mutation point,
+every derived read goes through :meth:`Signature.to_flat_int` /
+:meth:`Signature._load_flat`, and binary operations read the *other*
+operand only through its wire format — so mixed-backend operands are
+well-defined and a backend overrides a handful of methods, not all of
+them.  The per-field list semantics are unchanged everywhere — the
+property tests run every operation, on every registered backend, against
 a per-field-list reference implementation.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Set
+from typing import Iterable, Iterator, List, Optional, Set
 
 from repro.core.bitvector import iter_set_bits, popcount
 from repro.core.signature_config import SignatureConfig
@@ -53,6 +63,10 @@ class Signature:
     """
 
     __slots__ = ("config", "_flat", "_fields")
+
+    #: Registry name of the storage backend this class implements; the
+    #: base class *is* the default ``packed`` backend.
+    backend_name = "packed"
 
     def __init__(self, config: SignatureConfig) -> None:
         self.config = config
@@ -77,7 +91,7 @@ class Signature:
         does not write back into the register.
         """
         if self._fields is None:
-            flat = self._flat
+            flat = self.to_flat_int()
             layout = self.config.layout
             self._fields = [
                 (flat >> offset) & ((1 << size) - 1)
@@ -101,13 +115,17 @@ class Signature:
                     f"field value does not fit in a {size}-bit V_i field"
                 )
             flat |= value << offset
+        self._load_flat(flat, list(values))
+
+    def _load_flat(self, flat: int, fields: Optional[List[int]] = None) -> None:
+        """Replace the register contents with an already-validated flat
+        value (the storage-assignment primitive backends override)."""
         self._flat = flat
-        self._fields = list(values)
+        self._fields = fields
 
     def add(self, address: int) -> None:
         """Insert one address (at the configuration's granularity)."""
-        self._flat |= self.config.flat_mask(address)
-        self._fields = None
+        self.add_mask(self.config.flat_mask(address))
 
     def add_many(self, addresses: Iterable[int]) -> None:
         """Insert a whole address iterable with one register OR.
@@ -118,21 +136,26 @@ class Signature:
         so the register is touched once.  Bit-identical to calling
         :meth:`add` per address.
         """
-        mask = self.config.flat_mask_many(addresses)
-        if mask:
-            self._flat |= mask
-            self._fields = None
+        self.add_mask(self.config.flat_mask_many(addresses))
 
     def add_mask(self, mask: int) -> None:
         """OR a precomputed flat mask into the register.
 
-        The single-address fast lane for callers that already hold the
-        address's :meth:`~repro.core.signature_config.SignatureConfig.flat_mask`
+        This is the **single mutation point**: :meth:`add` and
+        :meth:`add_many` both reduce their input to a flat mask (through
+        the configuration's memoised encode paths) and funnel it here, so
+        interleaving the three in any order leaves the register — and the
+        lazy per-field view's invalidation — in the identical state.  It
+        is also the single-address fast lane for callers that already
+        hold the address's
+        :meth:`~repro.core.signature_config.SignatureConfig.flat_mask`
         (the BDM computes it once per access and feeds every signature
-        that records the access).
+        that records the access).  An empty mask is a no-op and leaves
+        the cached per-field view intact.
         """
-        self._flat |= mask
-        self._fields = None
+        if mask:
+            self._flat |= mask
+            self._fields = None
 
     def clear(self) -> None:
         """Gang-clear the register — this is how Bulk commits (Table 2)."""
@@ -141,7 +164,7 @@ class Signature:
 
     def is_empty(self) -> bool:
         """Emptiness test: true iff some V_i field is all-zero."""
-        flat = self._flat
+        flat = self.to_flat_int()
         if flat == 0:
             return True
         for mask in self.config.layout.field_masks:
@@ -152,7 +175,7 @@ class Signature:
     def __contains__(self, address: int) -> bool:
         """Membership test for one address (Table 1's element-of)."""
         mask = self.config.flat_mask(address)
-        return self._flat & mask == mask
+        return self.to_flat_int() & mask == mask
 
     def _check_compatible(self, other: "Signature") -> None:
         if self.config is other.config:
@@ -166,22 +189,21 @@ class Signature:
     def __and__(self, other: "Signature") -> "Signature":
         """Signature intersection (bitwise AND of the packed registers)."""
         self._check_compatible(other)
-        result = Signature(self.config)
-        result._flat = self._flat & other._flat
+        result = type(self)(self.config)
+        result._load_flat(self.to_flat_int() & other.to_flat_int())
         return result
 
     def __or__(self, other: "Signature") -> "Signature":
         """Signature union (bitwise OR of the packed registers)."""
         self._check_compatible(other)
-        result = Signature(self.config)
-        result._flat = self._flat | other._flat
+        result = type(self)(self.config)
+        result._load_flat(self.to_flat_int() | other.to_flat_int())
         return result
 
     def union_update(self, other: "Signature") -> None:
         """In-place union (used when flattening nested transactions)."""
         self._check_compatible(other)
-        self._flat |= other._flat
-        self._fields = None
+        self.add_mask(other.to_flat_int())
 
     def intersects(self, other: "Signature") -> bool:
         """True iff the intersection is non-empty.
@@ -191,7 +213,7 @@ class Signature:
         no intersection signature is allocated.
         """
         self._check_compatible(other)
-        both = self._flat & other._flat
+        both = self.to_flat_int() & other.to_flat_int()
         if both == 0:
             return False
         for mask in self.config.layout.field_masks:
@@ -201,20 +223,21 @@ class Signature:
 
     def copy(self) -> "Signature":
         """An independent copy of the register."""
-        duplicate = Signature(self.config)
-        duplicate._flat = self._flat
+        duplicate = type(self)(self.config)
+        duplicate._load_flat(self.to_flat_int())
         return duplicate
 
     def popcount(self) -> int:
         """Total number of set bits across all fields."""
-        return popcount(self._flat)
+        return popcount(self.to_flat_int())
 
     def to_flat_int(self) -> int:
         """The signature flattened to one integer, V_1 at the low end.
 
         This is the wire format: what RLE compression operates on and what
-        a commit broadcast carries.  It is also the storage format, so
-        this is free.
+        a commit broadcast carries.  It is also the packed backend's
+        storage format, so here it is free; other backends derive (and
+        memoise) it.
         """
         return self._flat
 
@@ -226,12 +249,12 @@ class Signature:
                 f"flat value does not fit in a {config.size_bits}-bit signature"
             )
         signature = cls(config)
-        signature._flat = flat
+        signature._load_flat(flat)
         return signature
 
     def set_bit_positions(self) -> Iterator[int]:
         """Positions of set bits in the flattened wire format, ascending."""
-        return iter_set_bits(self._flat)
+        return iter_set_bits(self.to_flat_int())
 
     def field_values(self, index: int) -> Set[int]:
         """The exact set of chunk-``index`` values inserted so far.
@@ -240,7 +263,7 @@ class Signature:
         chunk values — the property the exact delta decode relies on.
         """
         layout = self.config.layout
-        field = (self._flat >> layout.field_offsets[index]) & (
+        field = (self.to_flat_int() >> layout.field_offsets[index]) & (
             (1 << layout.field_sizes[index]) - 1
         )
         return set(iter_set_bits(field))
@@ -248,15 +271,18 @@ class Signature:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Signature):
             return NotImplemented
-        return self.config == other.config and self._flat == other._flat
+        return (
+            self.config == other.config
+            and self.to_flat_int() == other.to_flat_int()
+        )
 
     def __hash__(self) -> int:
-        return hash((self.config, self._flat))
+        return hash((self.config, self.to_flat_int()))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Signature({self.config.name}, {self.config.size_bits} bits, "
-            f"popcount={self.popcount()})"
+            f"{type(self).__name__}({self.config.name}, "
+            f"{self.config.size_bits} bits, popcount={self.popcount()})"
         )
 
 

@@ -67,6 +67,26 @@ class UnknownSchemeError(ConfigurationError):
         super().__init__(message)
 
 
+class UnknownBackendError(ConfigurationError):
+    """A signature-backend name is not in the backend registry.
+
+    Raised by :func:`repro.core.backend.resolve_backend` when asked for a
+    backend that was never registered — typically a misspelled
+    ``--sig-backend`` value on the CLI.  Mirrors
+    :class:`UnknownSchemeError`: it carries the unknown ``name`` and the
+    registered ``known`` alternatives, in registration order, and the
+    message lists them.
+    """
+
+    def __init__(self, name: str, known=()) -> None:
+        self.name = name
+        self.known = tuple(known)
+        alternatives = ", ".join(self.known) or "none registered"
+        super().__init__(
+            f"unknown signature backend {name!r} (registered: {alternatives})"
+        )
+
+
 class SetRestrictionError(BulkError):
     """The Set Restriction invariant was violated (Section 4.3/4.5).
 

@@ -38,6 +38,15 @@ from repro.runner.serialize import (
 
 Knobs = Tuple[Tuple[str, Any], ...]
 
+#: Knobs that select an implementation strategy, not an experiment: the
+#: signature-backend contract (pinned by the cross-backend conformance
+#: suite) guarantees bit-identical results for every backend, so these
+#: knobs are excluded from a point's canonical *label* — which names
+#: artifacts (trace keys, per-point metrics, reconciliation headers) that
+#: must stay byte-identical across backends.  The execution/cache payload
+#: still carries them, so cached results never leak across backends.
+_LABEL_INVISIBLE_KNOBS = frozenset({"sig_backend"})
+
 
 class GridExecutionError(SimulationError):
     """A grid point kept failing after exhausting its retry budget."""
@@ -64,8 +73,17 @@ class GridPoint:
 
     @property
     def key(self) -> str:
-        """Canonical identity of the point: kind, app, seed, knobs."""
-        knob_text = ",".join(f"{name}={value!r}" for name, value in self.knobs)
+        """Canonical identity of the point: kind, app, seed, knobs.
+
+        Implementation-strategy knobs (:data:`_LABEL_INVISIBLE_KNOBS`)
+        are omitted — they cannot change results, and artifact labels
+        must not depend on them.
+        """
+        knob_text = ",".join(
+            f"{name}={value!r}"
+            for name, value in self.knobs
+            if name not in _LABEL_INVISIBLE_KNOBS
+        )
         return f"{self.kind}:{self.app}:seed={self.seed}:{knob_text}"
 
     def payload(self) -> Dict[str, Any]:

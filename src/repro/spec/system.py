@@ -82,6 +82,30 @@ class SpecSystemCore:
         self._unit_start_clock: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
+    # Signature backend
+    # ------------------------------------------------------------------
+
+    def resolve_sig_backend(self) -> Any:
+        """The params' signature backend, resolved once per system.
+
+        Reads the ``sig_backend`` knob (``"packed"`` when the substrate's
+        params predate it) through the backend registry; a fallback
+        resolution (numpy unavailable) warns through the run's tracer
+        when one is attached, else through :mod:`warnings`.
+        """
+        backend = getattr(self, "_sig_backend", None)
+        if backend is None:
+            from repro.core.backend import (
+                DEFAULT_BACKEND_NAME,
+                resolve_backend,
+            )
+
+            name = getattr(self.params, "sig_backend", DEFAULT_BACKEND_NAME)
+            warn = self.tracer.warn if self.tracer is not None else None
+            backend = self._sig_backend = resolve_backend(name, warn=warn)
+        return backend
+
+    # ------------------------------------------------------------------
     # Tracing
     # ------------------------------------------------------------------
 

@@ -53,6 +53,9 @@ class TlsBulkScheme(TlsScheme):
         #: task id -> snapshot of the parent's W at the spawn point (what
         #: the spawn command carries for the child's cache flush).
         self._spawn_write_snapshot: Dict[int, Signature] = {}
+        #: Per-receiver conflict flags of the in-flight commit broadcast,
+        #: precomputed by a batched backend (``None`` = no prefilter).
+        self._commit_flags: Optional[Dict[int, bool]] = None
 
     # ------------------------------------------------------------------
     # BDM plumbing
@@ -63,6 +66,7 @@ class TlsBulkScheme(TlsScheme):
             system.params.signature_config,
             system.params.geometry,
             num_contexts=system.params.bdm_contexts,
+            backend=system.resolve_sig_backend(),
         )
         proc.scheme_state["ctx"] = {}
 
@@ -237,6 +241,37 @@ class TlsBulkScheme(TlsScheme):
             return context.shadow_write_signature
         return context.write_signature
 
+    def on_commit_broadcast(
+        self, system: "TlsSystem", committer: TaskState
+    ) -> None:
+        """Batched disambiguation: with a backend whose bank supports it,
+        evaluate Equation 1 against every active receiver in one
+        vectorised pass, using the full write signature W.  A clear flag
+        is exact for every receiver — including the first child, which
+        normally disambiguates against the shadow W_sh ⊆ W (Figure 9) —
+        so :meth:`receiver_conflict` can short-circuit; a set flag
+        re-evaluates with the receiver's proper signature.
+        """
+        self._commit_flags = None
+        backend = system.resolve_sig_backend()
+        if not backend.batched:
+            return
+        assert committer.proc is not None
+        committer_proc = system.processors[committer.proc]
+        committed = self.ctx_of(
+            committer_proc, committer.task_id
+        ).write_signature
+        bank = backend.make_bank(committed.config)
+        for other in system.active_tasks():
+            if other.task_id <= committer.task_id or other.proc is None:
+                continue
+            context = self.ctx_of(system.processors[other.proc], other.task_id)
+            bank.add_row(
+                other.task_id, context.read_signature, context.write_signature
+            )
+        if len(bank):
+            self._commit_flags = bank.conflict_flags(committed)
+
     def receiver_conflict(
         self,
         system: "TlsSystem",
@@ -244,6 +279,9 @@ class TlsBulkScheme(TlsScheme):
         receiver: TaskState,
     ) -> bool:
         assert receiver.proc is not None
+        flags = self._commit_flags
+        if flags is not None and flags.get(receiver.task_id, True) is False:
+            return False
         receiver_proc = system.processors[receiver.proc]
         context = self.ctx_of(receiver_proc, receiver.task_id)
         committed_write = self._signature_against(system, committer, receiver)

@@ -111,6 +111,14 @@ class TlsScheme(SpecScheme):
     def commit_packet(self, system: "TlsSystem", state: TaskState) -> int:
         """Charge the commit broadcast; returns the packet size in bytes."""
 
+    def on_commit_broadcast(
+        self, system: "TlsSystem", committer: TaskState
+    ) -> None:
+        """Observe the committer's broadcast before any receiver is
+        disambiguated.  Batched backends precompute per-receiver conflict
+        flags here (one vectorised pass for the whole epoch); the default
+        is a no-op."""
+
     def receiver_conflict(
         self,
         system: "TlsSystem",

@@ -24,6 +24,10 @@ class TlsParams:
     #: retain a finished task's state and run the next task (the
     #: multi-versioned cache motivation of Section 2).
     bdm_contexts: int = 4
+    #: Signature storage backend (``repro.core.backend`` registry name).
+    #: All backends are bit-identical; ``numpy`` batches the commit-time
+    #: disambiguation and falls back to ``packed`` when unavailable.
+    sig_backend: str = "packed"
     #: Resident task slots per processor (1 = stall until commit;
     #: >1 exercises multi-versioning and the Wr-Wr Set Restriction
     #: conflicts of Table 6).

@@ -517,6 +517,7 @@ class TlsSystem(SpecSystemCore):
             self.memory.store(word, value)
 
         # Disambiguate all more-speculative active tasks.
+        self.scheme.on_commit_broadcast(self, state)
         conflicting: List[TaskState] = []
         for other in self.active_tasks():
             if other.task_id <= state.task_id:

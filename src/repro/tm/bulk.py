@@ -44,6 +44,11 @@ class BulkScheme(TmScheme):
 
     name = "Bulk"
 
+    #: Per-receiver conflict flags of the in-flight commit broadcast,
+    #: precomputed by a batched backend (``None`` = no prefilter; a
+    #: missing pid means the receiver joined after the broadcast).
+    _commit_flags: Optional[dict] = None
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -63,6 +68,7 @@ class BulkScheme(TmScheme):
             system.params.signature_config,
             system.params.geometry,
             num_contexts=system.params.bdm_contexts,
+            backend=system.resolve_sig_backend(),
         )
 
     @staticmethod
@@ -203,6 +209,34 @@ class BulkScheme(TmScheme):
         context = self._ctx(proc)
         return context.write_signature
 
+    def on_commit_broadcast(
+        self, system: "TmSystem", committer: TmProcessor
+    ) -> None:
+        """Batched disambiguation: with a backend whose bank supports it,
+        evaluate Equation 1 against *every* receiver's aggregate context
+        registers in one vectorised pass.  A clear flag is exact (each
+        section signature is a subset of the context aggregate), so
+        :meth:`receiver_conflict` can skip its per-section scan; a set
+        flag still walks the sections to find the first conflicting one.
+        """
+        self._commit_flags = None
+        backend = system.resolve_sig_backend()
+        if not backend.batched:
+            return
+        committed = self._commit_signature(committer)
+        bank = backend.make_bank(committed.config)
+        for other in system.processors:
+            if other is committer or other.txn is None:
+                continue
+            context = other.scheme_state.get("ctx")
+            if context is None:
+                continue
+            bank.add_row(
+                other.pid, context.read_signature, context.write_signature
+            )
+        if len(bank):
+            self._commit_flags = bank.conflict_flags(committed)
+
     def receiver_conflict(
         self,
         system: "TmSystem",
@@ -210,6 +244,9 @@ class BulkScheme(TmScheme):
         receiver: TmProcessor,
     ) -> Optional[int]:
         assert receiver.txn is not None
+        flags = self._commit_flags
+        if flags is not None and flags.get(receiver.pid, True) is False:
+            return None
         committed_write = self._commit_signature(committer)
         for index, section in enumerate(receiver.txn.sections):
             read_sig = section.read_signature
@@ -277,11 +314,14 @@ class BulkScheme(TmScheme):
         # Partial rollback: invalidate only with the union of the
         # discarded sections' write signatures, then rebuild the context's
         # registers from the kept sections.
-        discarded = Signature(bdm.config)
+        make = (
+            Signature if bdm.backend is None else bdm.backend.make_signature
+        )
+        discarded = make(bdm.config)
         for section in proc.txn.sections[from_section:]:
             assert section.write_signature is not None
             discarded.union_update(section.write_signature)
-        scratch = VersionContext(context.slot, bdm.config)
+        scratch = VersionContext(context.slot, bdm.config, bdm.backend)
         scratch.write_signature = discarded
         invalidated = bdm.squash_invalidate(proc.cache, scratch)
         context.read_signature.clear()

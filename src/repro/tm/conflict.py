@@ -102,6 +102,14 @@ class TmScheme(SpecScheme):
         Returns the packet size in bytes (for commit-slot arbitration).
         """
 
+    def on_commit_broadcast(
+        self, system: "TmSystem", committer: TmProcessor
+    ) -> None:
+        """Observe the committer's broadcast before any receiver is
+        disambiguated.  Batched backends precompute per-receiver conflict
+        flags here (one vectorised pass for the whole epoch); the default
+        is a no-op."""
+
     def receiver_conflict(
         self,
         system: "TmSystem",

@@ -36,6 +36,10 @@ class TmParams:
     signature_config: SignatureConfig = field(default_factory=default_tm_config)
     #: Version contexts per BDM (running + preempted threads).
     bdm_contexts: int = 4
+    #: Signature storage backend (``repro.core.backend`` registry name).
+    #: All backends are bit-identical; ``numpy`` batches the commit-time
+    #: disambiguation and falls back to ``packed`` when unavailable.
+    sig_backend: str = "packed"
 
     # -- timing (cycles) ------------------------------------------------
     #: L1 hit latency (Table 5: round trip 2 cycles).

@@ -201,6 +201,7 @@ class TmSystem(SpecSystemCore):
                 proc.fresh_txn_id(),
                 start_cursor=proc.cursor,
                 signature_config=self._signature_config_for_txns(),
+                sig_backend=self._backend_for_txns(),
             )
             self.scheme.on_txn_begin(self, proc)
             proc.clock += self.params.begin_overhead_cycles
@@ -226,6 +227,13 @@ class TmSystem(SpecSystemCore):
 
         if isinstance(self.scheme, BulkScheme):
             return self.params.signature_config
+        return None
+
+    def _backend_for_txns(self):
+        from repro.tm.bulk import BulkScheme
+
+        if isinstance(self.scheme, BulkScheme):
+            return self.resolve_sig_backend()
         return None
 
     def _end(self, proc: TmProcessor) -> None:
@@ -509,6 +517,7 @@ class TmSystem(SpecSystemCore):
             )
 
         committed_writes = txn.all_write_granules()
+        self.scheme.on_commit_broadcast(self, proc)
         updated_caches = {id(proc.cache)}
         for other in self.processors:
             if other is proc:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from repro.core.backend.base import SignatureBackend
 from repro.core.signature import Signature
 from repro.core.signature_config import SignatureConfig
 from repro.errors import SimulationError
@@ -44,6 +45,7 @@ class Section:
         start_cursor: int,
         signature_config: Optional[SignatureConfig],
         depth_at_start: int = 1,
+        backend: Optional[SignatureBackend] = None,
     ) -> None:
         #: Trace cursor where the section begins (restart target).
         self.start_cursor = start_cursor
@@ -59,8 +61,9 @@ class Section:
         self.read_signature: Optional[Signature] = None
         self.write_signature: Optional[Signature] = None
         if signature_config is not None:
-            self.read_signature = Signature(signature_config)
-            self.write_signature = Signature(signature_config)
+            make = Signature if backend is None else backend.make_signature
+            self.read_signature = make(signature_config)
+            self.write_signature = make(signature_config)
 
 
 class TxnState:
@@ -72,6 +75,7 @@ class TxnState:
         "sections",
         "attempts",
         "signature_config",
+        "sig_backend",
         "start_cursor",
         "_agg_read",
         "_agg_write",
@@ -82,16 +86,18 @@ class TxnState:
         txn_id: int,
         start_cursor: int,
         signature_config: Optional[SignatureConfig] = None,
+        sig_backend: Optional[SignatureBackend] = None,
     ) -> None:
         self.txn_id = txn_id
         self.depth = 1
         self.signature_config = signature_config
+        self.sig_backend = sig_backend
         #: Cursor of the outermost TX_BEGIN event; restarts resume at
         #: ``start_cursor + 1`` (the begin overhead is charged as part of
         #: the squash overhead instead of re-executing the marker).
         self.start_cursor = start_cursor
         self.sections: List[Section] = [
-            Section(start_cursor + 1, signature_config)
+            Section(start_cursor + 1, signature_config, backend=sig_backend)
         ]
         self.attempts = 1
         # Incrementally maintained unions over sections (hot paths: the
@@ -111,7 +117,12 @@ class TxnState:
     def push_section(self, cursor: int) -> None:
         """Open a new section (partial-rollback mode, at nesting edges)."""
         self.sections.append(
-            Section(cursor, self.signature_config, depth_at_start=self.depth)
+            Section(
+                cursor,
+                self.signature_config,
+                depth_at_start=self.depth,
+                backend=self.sig_backend,
+            )
         )
 
     def discard_sections_from(self, index: int) -> int:
@@ -131,7 +142,12 @@ class TxnState:
         depth = first.depth_at_start
         del self.sections[index:]
         self.sections.append(
-            Section(restart, self.signature_config, depth_at_start=depth)
+            Section(
+                restart,
+                self.signature_config,
+                depth_at_start=depth,
+                backend=self.sig_backend,
+            )
         )
         self.depth = depth
         self._rebuild_aggregates()
@@ -140,7 +156,13 @@ class TxnState:
     def reset_for_restart(self) -> None:
         """Full squash: discard everything, keep identity and attempts."""
         self.depth = 1
-        self.sections = [Section(self.start_cursor + 1, self.signature_config)]
+        self.sections = [
+            Section(
+                self.start_cursor + 1,
+                self.signature_config,
+                backend=self.sig_backend,
+            )
+        ]
         self.attempts += 1
         self._agg_read = set()
         self._agg_write = set()
@@ -218,7 +240,10 @@ class TxnState:
         commit (Figure 8)."""
         if self.signature_config is None:
             raise SimulationError("transaction has no signatures")
-        union = Signature(self.signature_config)
+        if self.sig_backend is None:
+            union = Signature(self.signature_config)
+        else:
+            union = self.sig_backend.make_signature(self.signature_config)
         for section in self.sections:
             assert section.write_signature is not None
             union.union_update(section.write_signature)

@@ -1,0 +1,68 @@
+"""Golden-run pin for the numpy signature backend.
+
+``--sig-backend numpy`` is a *storage strategy*, never a semantics
+change: the full ``reproduce`` pipeline run on the vectorised backend
+must emit the exact same bytes as the packed default.  Every artifact is
+checked against the same SHA-256 manifest that pins the default run in
+``test_golden_reproduce.py`` — one manifest, two backends.
+
+Skipped when numpy is unavailable (the registry then falls back to
+packed, which the default golden run already covers).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cli import main
+from repro.core.backend import resolve_backend
+
+from tests.integration.test_golden_reproduce import GOLDEN_MANIFEST
+
+
+def _numpy_backend_available() -> bool:
+    try:
+        return resolve_backend("numpy").name == "numpy"
+    except ImportError:  # pragma: no cover - no fallback configured
+        return False
+
+
+pytestmark = pytest.mark.skipif(
+    not _numpy_backend_available(),
+    reason="numpy backend unavailable (would fall back to packed)",
+)
+
+
+@pytest.fixture(scope="module")
+def numpy_golden_run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("golden_numpy")
+    code = main([
+        "reproduce", "--out", str(out), "--no-cache",
+        "--sig-backend", "numpy",
+        "--tm-txns", "4", "--tls-tasks", "40", "--samples", "60",
+        "--seed", "11", "--jobs", "2",
+        "--trace-out", str(out / "trace.jsonl"),
+        "--metrics-out", str(out / "metrics.json"),
+    ])
+    assert code == 0
+    return out
+
+
+def test_every_golden_artifact_exists(numpy_golden_run):
+    missing = [
+        name
+        for name in GOLDEN_MANIFEST
+        if not (numpy_golden_run / name).is_file()
+    ]
+    assert missing == []
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_MANIFEST))
+def test_numpy_backend_reproduces_golden_bytes(numpy_golden_run, name):
+    digest = hashlib.sha256(
+        (numpy_golden_run / name).read_bytes()
+    ).hexdigest()
+    assert digest == GOLDEN_MANIFEST[name], (
+        f"{name} diverged under --sig-backend numpy — the vectorised "
+        "backend must be bit-identical to packed"
+    )

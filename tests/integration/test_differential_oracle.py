@@ -13,9 +13,11 @@ The contract under test is the paper's superset-semantics guarantee:
 """
 
 import random
+from dataclasses import replace
 
 import pytest
 
+from repro.core.backend import backend_names, resolve_backend
 from repro.core.disambiguation import disambiguate
 from repro.core.signature import Signature
 from repro.core.signature_config import default_tm_config
@@ -27,11 +29,40 @@ from repro.tm.bulk import BulkScheme
 from repro.tm.eager import EagerScheme
 from repro.tm.lazy import LazyScheme
 from repro.tm.system import TmSystem
+from repro.tls.params import TLS_DEFAULTS
+from repro.tm.params import TM_DEFAULTS
 from repro.workloads.kernels import build_tm_workload
 from repro.workloads.tls_spec import build_tls_workload
 
 TM_GRID = [("mc", 11), ("mc", 23), ("cb", 11), ("sjbb2k", 47), ("moldyn", 5)]
 TLS_GRID = [("gzip", 11), ("mcf", 23), ("vortex", 5)]
+
+
+def _backend_params():
+    """Every registered backend, skipping ones that would silently fall
+    back (a degraded backend re-tests packed, not itself)."""
+    params = []
+    for name in backend_names():
+        try:
+            resolved = resolve_backend(name)
+        except ImportError:  # pragma: no cover - no fallback configured
+            params.append(
+                pytest.param(name, marks=pytest.mark.skip(f"{name} unavailable"))
+            )
+            continue
+        if resolved.name != name:
+            params.append(
+                pytest.param(
+                    name,
+                    marks=pytest.mark.skip(f"{name} fell back to {resolved.name}"),
+                )
+            )
+        else:
+            params.append(pytest.param(name))
+    return params
+
+
+SIG_BACKENDS = _backend_params()
 
 
 # ----------------------------------------------------------------------
@@ -130,15 +161,20 @@ class TestSignatureLevelDifferential:
 # ----------------------------------------------------------------------
 
 class TestTmDifferential:
+    @pytest.mark.parametrize("sig_backend", SIG_BACKENDS)
     @pytest.mark.parametrize("app,seed", TM_GRID)
-    def test_bulk_vs_exact_schemes(self, app, seed):
+    def test_bulk_vs_exact_schemes(self, app, seed, sig_backend):
         def workload():
             return build_tm_workload(
                 app, num_threads=4, txns_per_thread=4, seed=seed
             )
 
         spy = DifferentialTmBulk()
-        bulk = TmSystem(workload(), spy).run()
+        bulk = TmSystem(
+            workload(),
+            spy,
+            params=replace(TM_DEFAULTS, sig_backend=sig_backend),
+        ).run()
         eager = TmSystem(workload(), EagerScheme()).run()
         lazy = TmSystem(workload(), LazyScheme()).run()
 
@@ -190,13 +226,18 @@ class TestTmDifferential:
 # ----------------------------------------------------------------------
 
 class TestTlsDifferential:
+    @pytest.mark.parametrize("sig_backend", SIG_BACKENDS)
     @pytest.mark.parametrize("app,seed", TLS_GRID)
-    def test_bulk_vs_exact_eager(self, app, seed):
+    def test_bulk_vs_exact_eager(self, app, seed, sig_backend):
         def workload():
             return build_tls_workload(app, num_tasks=40, seed=seed)
 
         spy = DifferentialTlsBulk()
-        bulk = TlsSystem(workload(), spy).run()
+        bulk = TlsSystem(
+            workload(),
+            spy,
+            params=replace(TLS_DEFAULTS, sig_backend=sig_backend),
+        ).run()
         eager = TlsSystem(workload(), TlsEagerScheme()).run()
 
         assert spy.missed == []
@@ -283,3 +324,54 @@ class TestTraceReconciliation:
         hist = obs.metrics.snapshot()["histograms"]["tm.commit_packet_bytes"]
         assert traced_packets == hist["total"]
         assert traced_packets == result.stats.bandwidth.commit_bytes
+
+
+# ----------------------------------------------------------------------
+# Whole-run backend identity: the storage strategy must not change runs
+# ----------------------------------------------------------------------
+
+class TestBackendRunIdentity:
+    """Beyond per-event agreement, entire Bulk runs must be identical
+    under every backend — cycles, squashes, commit order, final memory —
+    because the backends differ only in signature *storage*."""
+
+    @pytest.mark.parametrize("app,seed", TM_GRID[:2])
+    def test_tm_bulk_runs_identical_across_backends(self, app, seed):
+        def run(sig_backend):
+            traces = build_tm_workload(
+                app, num_threads=4, txns_per_thread=4, seed=seed
+            )
+            return TmSystem(
+                traces,
+                BulkScheme(),
+                params=replace(TM_DEFAULTS, sig_backend=sig_backend),
+            ).run()
+
+        results = {
+            p.values[0]: run(p.values[0]) for p in SIG_BACKENDS if not p.marks
+        }
+        reference = results["packed"]
+        for name, result in results.items():
+            assert result.cycles == reference.cycles, name
+            assert result.stats.squashes == reference.stats.squashes, name
+            assert result.commit_order == reference.commit_order, name
+            assert result.memory.snapshot() == reference.memory.snapshot(), name
+
+    @pytest.mark.parametrize("app,seed", TLS_GRID[:2])
+    def test_tls_bulk_runs_identical_across_backends(self, app, seed):
+        def run(sig_backend):
+            tasks = build_tls_workload(app, num_tasks=40, seed=seed)
+            return TlsSystem(
+                tasks,
+                TlsBulkScheme(),
+                params=replace(TLS_DEFAULTS, sig_backend=sig_backend),
+            ).run()
+
+        results = {
+            p.values[0]: run(p.values[0]) for p in SIG_BACKENDS if not p.marks
+        }
+        reference = results["packed"]
+        for name, result in results.items():
+            assert result.cycles == reference.cycles, name
+            assert result.stats.squashes == reference.stats.squashes, name
+            assert result.memory.snapshot() == reference.memory.snapshot(), name
