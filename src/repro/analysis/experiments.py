@@ -45,6 +45,28 @@ def _apply_bus(params, bus: Optional[str]):
     return replace(params, interconnect=InterconnectConfig.parse(bus))
 
 
+def _replay_workload(kind: str, trace: str, trace_store, obs):
+    """Materialise a stored trace as the ``kind`` substrate's workload.
+
+    ``trace`` is a trace id in the content-addressed store at
+    ``trace_store`` (a :class:`~repro.trace.TraceStore` or a directory
+    path).  Decoding is pure, so a given id always materialises the
+    identical workload objects — the replayed run is as deterministic as
+    a generated one.  ``obs`` threads the reader's streaming counters
+    (``trace.chunks_read`` / ``trace.bytes_streamed`` /
+    ``trace.records_replayed``) into the run's metrics.
+    """
+    from repro.errors import ConfigurationError
+    from repro.trace import load_trace_workload
+
+    if trace_store is None:
+        raise ConfigurationError(
+            "trace replay needs a store: pass trace_store= "
+            "(CLI: --trace-store) alongside the trace id"
+        )
+    return load_trace_workload(kind, trace_store, trace, obs=obs)
+
+
 def _apply_sig_backend(params, sig_backend: Optional[str]):
     """Overlay a ``--sig-backend`` name onto substrate parameters.
 
@@ -129,6 +151,8 @@ def run_tm_comparison(
     obs: "Optional[Observability]" = None,
     bus: Optional[str] = None,
     sig_backend: Optional[str] = None,
+    trace: Optional[str] = None,
+    trace_store: "Optional[object]" = None,
 ) -> TmComparison:
     """Run one TM application under every scheme.
 
@@ -147,6 +171,11 @@ def run_tm_comparison(
     ``sig_backend`` (optional) selects the signature storage backend by
     registry name; ``None`` keeps the params' backend (``packed`` by
     default).  Every backend is bit-identical, so results do not change.
+
+    ``trace`` (optional) replays a stored trace id from the store at
+    ``trace_store`` instead of generating the workload; ``app`` then
+    only labels the comparison, and ``num_processors`` follows the
+    trace's thread count.
     """
     params = _apply_bus(params, bus)
     params = _apply_sig_backend(params, sig_backend)
@@ -154,12 +183,19 @@ def run_tm_comparison(
     # One build serves every scheme: traces are immutable (tuples of
     # frozen events), and rebuilding with the same seed produced the
     # identical sequence anyway.
-    traces = build_tm_workload(
-        app,
-        num_threads=params.num_processors,
-        txns_per_thread=txns_per_thread,
-        seed=seed,
-    )
+    if trace is not None:
+        traces = _replay_workload("tm", trace, trace_store, obs)
+        if len(traces) != params.num_processors:
+            # A replayed trace carries its own thread count; the system
+            # must be sized to it, not to the generator default.
+            params = replace(params, num_processors=len(traces))
+    else:
+        traces = build_tm_workload(
+            app,
+            num_threads=params.num_processors,
+            txns_per_thread=txns_per_thread,
+            seed=seed,
+        )
     for entry in scheme_entries("tm", include_variants=include_partial):
         # Variants (Bulk-Partial) carry parameter overrides and skip
         # sample collection — they exist for Figure 11's extra bar, not
@@ -204,12 +240,16 @@ def run_tls_comparison(
     obs: "Optional[Observability]" = None,
     bus: Optional[str] = None,
     sig_backend: Optional[str] = None,
+    trace: Optional[str] = None,
+    trace_store: "Optional[object]" = None,
 ) -> TlsComparison:
     """Run one TLS application under every registered TLS scheme.
 
     ``bus`` (optional) selects the interconnect model by spec string;
     ``None`` keeps the legacy synchronous bus.  ``sig_backend``
     (optional) selects the signature storage backend by registry name.
+    ``trace`` (optional) replays a stored trace id from ``trace_store``
+    instead of generating the task stream.
     """
     params = _apply_bus(params, bus)
     params = _apply_sig_backend(params, sig_backend)
@@ -218,7 +258,10 @@ def run_tls_comparison(
     comparison = TlsComparison(app=app)
     # Tasks are immutable static descriptors; the sequential baseline
     # and every scheme share one build (same seed == same sequence).
-    tasks = build_tls_workload(app, num_tasks=num_tasks, seed=seed)
+    if trace is not None:
+        tasks = _replay_workload("tls", trace, trace_store, obs)
+    else:
+        tasks = build_tls_workload(app, num_tasks=num_tasks, seed=seed)
     comparison.sequential_cycles = simulate_sequential(tasks, params)
     for name in schemes:
         result = TlsSystem(tasks, resolve_scheme("tls", name), params, obs=obs).run()
@@ -259,6 +302,8 @@ def run_checkpoint_comparison(
     obs: "Optional[Observability]" = None,
     bus: Optional[str] = None,
     sig_backend: Optional[str] = None,
+    trace: Optional[str] = None,
+    trace_store: "Optional[object]" = None,
 ) -> CheckpointComparison:
     """Run one checkpoint workload under every registered scheme.
 
@@ -266,11 +311,16 @@ def run_checkpoint_comparison(
     same rollback depth, so cycle and bandwidth ratios are meaningful.
     ``bus`` (optional) selects the interconnect model by spec string;
     ``sig_backend`` (optional) selects the signature storage backend.
+    ``trace`` (optional) replays a stored trace id from ``trace_store``
+    instead of generating the epoch stream.
     """
     params = _apply_bus(params, bus)
     params = _apply_sig_backend(params, sig_backend)
     comparison = CheckpointComparison(app=app, rollback_depth=rollback_depth)
-    epochs = build_checkpoint_workload(app, num_epochs=num_epochs, seed=seed)
+    if trace is not None:
+        epochs = _replay_workload("checkpoint", trace, trace_store, obs)
+    else:
+        epochs = build_checkpoint_workload(app, num_epochs=num_epochs, seed=seed)
     for name in scheme_names("checkpoint"):
         system = CheckpointSystem(
             resolve_scheme("checkpoint", name),

@@ -99,6 +99,41 @@ def _sig_backend_spec(args: argparse.Namespace) -> Optional[str]:
     return name
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """The trace-replay flags, shared by the simulation subcommands.
+
+    Both or neither: a trace id only means something inside one store,
+    and a store alone does not select a trace.
+    """
+    group = parser.add_argument_group("trace replay")
+    group.add_argument(
+        "--trace-store", default=None, metavar="DIR",
+        help="on-disk trace store directory (see 'repro trace')",
+    )
+    group.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="replay this stored trace instead of generating the workload",
+    )
+
+
+def _trace_spec(
+    args: argparse.Namespace,
+) -> Tuple[Optional[str], Optional[str], Optional[str]]:
+    """The ``(trace_id, store_dir, error)`` of the replay flags.
+
+    ``(None, None, None)`` when replay was not requested; an error
+    message as the third member when exactly one of the two flags was
+    given.  Both-``None`` callers pass no trace knob at all, keeping
+    cache keys and golden artifacts byte-identical to pre-trace builds.
+    """
+    trace = getattr(args, "trace_id", None)
+    store = getattr(args, "trace_store", None)
+    if (trace is None) != (store is None):
+        missing = "--trace-store" if store is None else "--trace-id"
+        return None, None, f"trace replay needs both flags; missing {missing}"
+    return trace, store, None
+
+
 def _bus_spec(args: argparse.Namespace) -> Optional[str]:
     """The canonical interconnect spec of the ``--bus-*`` flags.
 
@@ -183,6 +218,10 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_tm(args: argparse.Namespace) -> int:
+    trace, trace_store, trace_error = _trace_spec(args)
+    if trace_error:
+        print(f"error: {trace_error}", file=sys.stderr)
+        return 2
     obs, writer = _open_observability(args)
     bus = _bus_spec(args)
     comparison = run_tm_comparison(
@@ -193,6 +232,8 @@ def _cmd_tm(args: argparse.Namespace) -> int:
         obs=obs,
         bus=bus,
         sig_backend=_sig_backend_spec(args),
+        trace=trace,
+        trace_store=trace_store,
     )
     rows = []
     for scheme in scheme_names("tm", include_variants=args.partial):
@@ -229,6 +270,10 @@ def _cmd_tm(args: argparse.Namespace) -> int:
 
 
 def _cmd_tls(args: argparse.Namespace) -> int:
+    trace, trace_store, trace_error = _trace_spec(args)
+    if trace_error:
+        print(f"error: {trace_error}", file=sys.stderr)
+        return 2
     obs, writer = _open_observability(args)
     bus = _bus_spec(args)
     comparison = run_tls_comparison(
@@ -238,6 +283,8 @@ def _cmd_tls(args: argparse.Namespace) -> int:
         obs=obs,
         bus=bus,
         sig_backend=_sig_backend_spec(args),
+        trace=trace,
+        trace_store=trace_store,
     )
     rows = []
     for scheme in scheme_names("tls"):
@@ -304,6 +351,13 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     sig_backend = _sig_backend_spec(args)
     if sig_backend is not None:
         extra_knobs["sig_backend"] = sig_backend
+    trace, trace_store, trace_error = _trace_spec(args)
+    if trace_error:
+        print(f"error: {trace_error}", file=sys.stderr)
+        return 2
+    if trace is not None:
+        extra_knobs["trace"] = trace
+        extra_knobs["trace_store"] = trace_store
     points = {
         depth: checkpoint_point(
             args.app,
@@ -614,6 +668,131 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_ingest_result(result: Any) -> None:
+    """One ingest's receipt, ending with the id on its own line so shell
+    scripts can ``tail -n1`` it."""
+    if result.deduplicated:
+        print("store already holds this content (deduplicated)")
+    print(
+        f"{result.num_streams} stream(s), {result.num_records} record(s), "
+        f"{result.num_chunks} chunk(s), {result.encoded_bytes} encoded bytes"
+    )
+    print(result.trace_id)
+
+
+def _cmd_trace_ingest(args: argparse.Namespace) -> int:
+    """Capture one instrumented workload into the trace store."""
+    from repro.errors import TraceError
+    from repro.trace import INGESTERS, TraceStore
+
+    sizing = {
+        "tm": lambda a: {
+            "num_threads": a.threads, "txns_per_thread": a.txns,
+        },
+        "tls": lambda a: {"num_tasks": a.tasks},
+        "checkpoint": lambda a: {"num_epochs": a.epochs},
+    }[args.kind](args)
+    try:
+        store = TraceStore(args.store)
+        result = INGESTERS[args.kind](
+            store, args.app, seed=args.seed,
+            chunk_bytes=args.chunk_kb * 1024, **sizing,
+        )
+    except TraceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _print_ingest_result(result)
+    return 0
+
+
+def _cmd_trace_import(args: argparse.Namespace) -> int:
+    """Convert an external JSONL trace file into the store."""
+    from repro.errors import TraceError
+    from repro.trace import TraceStore, import_jsonl
+
+    try:
+        store = TraceStore(args.store)
+        result = import_jsonl(
+            store, args.file, args.kind, label=args.label or "",
+            chunk_bytes=args.chunk_kb * 1024,
+        )
+    except (TraceError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _print_ingest_result(result)
+    return 0
+
+
+def _cmd_trace_list(args: argparse.Namespace) -> int:
+    """List every stored trace."""
+    from repro.errors import TraceError
+    from repro.trace import TraceStore
+
+    try:
+        infos = TraceStore(args.store).traces()
+    except TraceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not infos:
+        print(f"no traces in {args.store}")
+        return 0
+    rows = [
+        [info.trace_id[:16], info.kind, info.label, info.num_streams,
+         info.num_records, info.num_chunks, info.encoded_bytes]
+        for info in infos
+    ]
+    print(
+        render_table(
+            ["Id (prefix)", "Kind", "Label", "Streams", "Records", "Chunks",
+             "Bytes"],
+            rows,
+            title=f"Trace store: {args.store}",
+        )
+    )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    """Show (and optionally verify) one stored trace."""
+    from repro.errors import TraceError
+    from repro.trace import TraceStore
+
+    try:
+        store = TraceStore(args.store)
+        # Accept unambiguous id prefixes, mirroring the list output.
+        matches = [
+            info for info in store.traces()
+            if info.trace_id.startswith(args.trace_id)
+        ]
+        if not matches:
+            raise TraceError(
+                f"trace {args.trace_id!r} is not in the store at {args.store}"
+            )
+        if len(matches) > 1:
+            raise TraceError(
+                f"trace id prefix {args.trace_id!r} is ambiguous "
+                f"({len(matches)} matches)"
+            )
+        info = matches[0]
+        if args.verify:
+            store.reader(info.trace_id).verify()
+    except TraceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"trace_id:      {info.trace_id}")
+    print(f"kind:          {info.kind}")
+    print(f"label:         {info.label}")
+    print(f"streams:       {info.num_streams}")
+    print(f"records:       {info.num_records}")
+    print(f"chunks:        {info.num_chunks}")
+    print(f"encoded bytes: {info.encoded_bytes}")
+    for key in sorted(info.meta):
+        print(f"meta.{key}: {info.meta[key]}")
+    if args.verify:
+        print("content verified: SHA-256 matches the trace id")
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -646,6 +825,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the metrics snapshot as JSON")
     _add_bus_arguments(tm)
     _add_sig_backend_argument(tm)
+    _add_trace_arguments(tm)
     tm.set_defaults(func=_cmd_tm)
 
     tls = sub.add_parser("tls", help="run one TLS workload under every scheme")
@@ -658,6 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the metrics snapshot as JSON")
     _add_bus_arguments(tls)
     _add_sig_backend_argument(tls)
+    _add_trace_arguments(tls)
     tls.set_defaults(func=_cmd_tls)
 
     checkpoint = sub.add_parser(
@@ -683,6 +864,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(enables instrumentation)")
     _add_bus_arguments(checkpoint)
     _add_sig_backend_argument(checkpoint)
+    _add_trace_arguments(checkpoint)
     checkpoint.set_defaults(func=_cmd_checkpoint)
 
     accuracy = sub.add_parser(
@@ -698,6 +880,65 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "fig12", help="demonstrate the Figure 12 Eager pathologies"
     ).set_defaults(func=_cmd_fig12)
+
+    trace = sub.add_parser(
+        "trace", help="capture, import, and inspect on-disk traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _add_store_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", required=True, metavar="DIR",
+                       help="trace store directory (created if missing)")
+        p.add_argument("--chunk-kb", type=_positive_int, default=256,
+                       metavar="KB", help="encoded bytes per chunk file "
+                       "(does not change the trace id)")
+
+    ingest = trace_sub.add_parser(
+        "ingest", help="capture an instrumented workload into the store"
+    )
+    ingest_sub = ingest.add_subparsers(dest="kind", required=True)
+    ingest_tm = ingest_sub.add_parser("tm", help="a Table 4 TM kernel")
+    ingest_tm.add_argument("app", choices=sorted(TM_KERNELS))
+    ingest_tm.add_argument("--threads", type=_positive_int, default=8)
+    ingest_tm.add_argument("--txns", type=_positive_int, default=12,
+                           help="transactions per thread")
+    ingest_tls = ingest_sub.add_parser("tls", help="a Table 6 TLS task stream")
+    ingest_tls.add_argument("app", choices=sorted(TLS_APPLICATIONS))
+    ingest_tls.add_argument("--tasks", type=_positive_int, default=160)
+    ingest_ckpt = ingest_sub.add_parser(
+        "checkpoint", help="a checkpoint epoch stream"
+    )
+    ingest_ckpt.add_argument("app", choices=sorted(CHECKPOINT_WORKLOADS))
+    ingest_ckpt.add_argument("--epochs", type=_positive_int, default=64)
+    for p in (ingest_tm, ingest_tls, ingest_ckpt):
+        p.add_argument("--seed", type=int, default=42)
+        _add_store_flags(p)
+        p.set_defaults(func=_cmd_trace_ingest)
+
+    trace_import = trace_sub.add_parser(
+        "import", help="convert an external JSONL trace into the store"
+    )
+    trace_import.add_argument("file", help="JSON-lines trace file "
+                              "(repro.sim.traceio format)")
+    trace_import.add_argument("--kind", required=True,
+                              choices=["tm", "tls", "checkpoint"])
+    trace_import.add_argument("--label", default=None,
+                              help="store label (default: the file stem)")
+    _add_store_flags(trace_import)
+    trace_import.set_defaults(func=_cmd_trace_import)
+
+    trace_list = trace_sub.add_parser("list", help="list stored traces")
+    trace_list.add_argument("--store", required=True, metavar="DIR")
+    trace_list.set_defaults(func=_cmd_trace_list)
+
+    trace_info = trace_sub.add_parser(
+        "info", help="show one stored trace (id prefixes accepted)"
+    )
+    trace_info.add_argument("trace_id")
+    trace_info.add_argument("--store", required=True, metavar="DIR")
+    trace_info.add_argument("--verify", action="store_true",
+                            help="re-hash the content against the id")
+    trace_info.set_defaults(func=_cmd_trace_info)
 
     reproduce = sub.add_parser(
         "reproduce",

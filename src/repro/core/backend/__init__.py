@@ -32,6 +32,7 @@ from repro.core.backend.registry import (
     backend_names,
     register_backend,
     resolve_backend,
+    suppress_fallback_warnings,
     unregister_backend,
 )
 
@@ -45,5 +46,6 @@ __all__ = [
     "backend_names",
     "register_backend",
     "resolve_backend",
+    "suppress_fallback_warnings",
     "unregister_backend",
 ]

@@ -62,6 +62,28 @@ _REGISTRY: Dict[str, BackendEntry] = {}
 _INSTANCES: Dict[str, SignatureBackend] = {}
 #: Names whose unavailability has already been warned about.
 _FALLBACK_WARNED: Set[str] = set()
+#: When set, fallback resolution skips the user-facing
+#: :func:`warnings.warn` (an explicit ``warn`` callable still fires).
+_SUPPRESS_FALLBACK_USER_WARNING = False
+
+
+def suppress_fallback_warnings(enabled: bool = True) -> bool:
+    """Silence the user-facing fallback warning in this process.
+
+    "Once per process" is the right dedupe for a single process, but a
+    grid pool spawns many fresh workers, each with an empty
+    :data:`_FALLBACK_WARNED` — at ``--jobs 8`` the same degradation
+    printed eight times.  The pool initializer calls this in every
+    worker (the parent pre-resolves the backends and warns once); only
+    the :func:`warnings.warn` path is silenced, so a tracer's ``warn``
+    callable still records the degradation event per worker.
+
+    Returns the previous setting so tests can restore it.
+    """
+    global _SUPPRESS_FALLBACK_USER_WARNING
+    previous = _SUPPRESS_FALLBACK_USER_WARNING
+    _SUPPRESS_FALLBACK_USER_WARNING = enabled
+    return previous
 
 
 def register_backend(
@@ -141,7 +163,7 @@ def resolve_backend(
             _FALLBACK_WARNED.add(name)
             if warn is not None:
                 warn(message)
-            else:
+            elif not _SUPPRESS_FALLBACK_USER_WARNING:
                 warnings.warn(message, RuntimeWarning, stacklevel=2)
         return resolve_backend(entry.fallback, warn=warn)
     _INSTANCES[name] = instance

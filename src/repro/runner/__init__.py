@@ -22,6 +22,7 @@ from repro.runner.grid import (
     checkpoint_point,
     default_jobs,
     execution_cost,
+    load_failure_records,
     submission_order,
     tls_point,
     tm_point,
@@ -47,6 +48,7 @@ __all__ = [
     "comparison_to_dict",
     "default_jobs",
     "execution_cost",
+    "load_failure_records",
     "submission_order",
     "tls_point",
     "tm_point",

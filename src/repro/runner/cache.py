@@ -20,6 +20,7 @@ import hashlib
 import json
 import os
 import pathlib
+import tempfile
 from functools import lru_cache
 from typing import Any, Dict, Optional
 
@@ -61,6 +62,21 @@ class ResultCache:
     def __init__(self, directory: "str | os.PathLike[str]") -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_temporaries()
+
+    def _sweep_stale_temporaries(self) -> None:
+        """Remove ``*.tmp`` leftovers of writers that died mid-``put``.
+
+        Every writer uses a unique temporary name, so anything matching
+        the pattern is either an orphan or an *in-flight* write from a
+        live process — deleting the latter is tolerated too, because
+        :meth:`put` retries once when its temporary vanishes.
+        """
+        for stale in self.directory.glob("*.tmp"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass  # concurrently published or swept by another opener
 
     def key_for(self, payload: Dict[str, Any]) -> str:
         """The cache key of a grid-point payload under the current code."""
@@ -74,29 +90,64 @@ class ResultCache:
         return self.directory / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached result for a key, or ``None`` on a miss."""
+        """The cached result for a key, or ``None`` on a miss.
+
+        Truncated or garbage entries (a crashed pre-atomic-write build,
+        disk corruption) count as misses *and* are unlinked, so the next
+        :meth:`put` repairs the slot instead of the corpse shadowing it
+        forever.
+        """
         path = self._path(key)
         if not path.exists():
             return None
         try:
             entry = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+        except OSError:
             return None
-        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+        except json.JSONDecodeError:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # another process repaired or removed it first
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
             return None
         return entry.get("result")
 
     def put(self, key: str, payload: Dict[str, Any], result: Dict[str, Any]) -> None:
-        """Store one point's result (atomically, via rename)."""
+        """Store one point's result (atomically, via rename).
+
+        The temporary file name is unique per writer — a fixed name let
+        two processes computing the same key interleave ``write`` and
+        ``replace`` and publish a torn entry.  ``os.replace`` keeps the
+        publish atomic; if a concurrent opener's stale-temporary sweep
+        raced us and removed the temporary first, one retry with a fresh
+        name suffices (the sweep runs only at cache open).
+        """
         entry = {
             "schema": CACHE_SCHEMA_VERSION,
             "point": payload,
             "result": result,
         }
         path = self._path(key)
-        temporary = path.with_suffix(".tmp")
-        temporary.write_text(canonical_json(entry), encoding="utf-8")
-        os.replace(temporary, path)
+        text = canonical_json(entry)
+        for attempt in (0, 1):
+            handle, temporary = tempfile.mkstemp(
+                dir=self.directory, prefix=f"{key}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                    stream.write(text)
+                os.replace(temporary, path)
+                return
+            except FileNotFoundError:
+                if attempt:
+                    raise
+            finally:
+                try:
+                    os.unlink(temporary)
+                except OSError:
+                    pass  # the normal case: already renamed into place
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))

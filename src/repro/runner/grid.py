@@ -22,7 +22,9 @@ changed.
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -215,6 +217,7 @@ def _warm_worker() -> None:
     without it.
     """
     import repro.analysis.experiments  # noqa: F401 - imported for side effect
+    from repro.core.backend import suppress_fallback_warnings
     from repro.core.signature_config import (  # noqa: F401
         TABLE8_CONFIGS,
         default_tls_config,
@@ -222,6 +225,10 @@ def _warm_worker() -> None:
     )
     from repro.spec import scheme_entries
 
+    # The parent pre-resolves every backend the grid names and emits the
+    # single user-facing degradation warning; each fresh worker would
+    # otherwise repeat it (once per process x jobs workers).
+    suppress_fallback_warnings()
     default_tm_config()
     default_tls_config()
     for substrate in ("tm", "tls", "checkpoint"):
@@ -236,6 +243,64 @@ class FailureRecord:
     attempt: int
     error: str
     traceback: str
+
+
+def _failure_from_dict(row: Any) -> Optional[FailureRecord]:
+    """A persisted failure row as a record, or ``None`` if malformed."""
+    if not isinstance(row, dict):
+        return None
+    try:
+        return FailureRecord(
+            key=str(row["key"]),
+            attempt=int(row["attempt"]),
+            error=str(row["error"]),
+            traceback=str(row.get("traceback", "")),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def load_failure_records(
+    directory: "str | os.PathLike[str]",
+) -> List[FailureRecord]:
+    """Every failure record persisted under a cache directory.
+
+    Reads the append-only ``failures.jsonl`` (one JSON object per
+    line), skipping any line a killed writer left incomplete, plus the
+    legacy ``failures.json`` array of pre-JSONL releases — kept readable
+    for one release so existing cache directories keep their history.
+    """
+    directory = pathlib.Path(directory)
+    records: List[FailureRecord] = []
+    legacy = directory / "failures.json"
+    if legacy.exists():
+        try:
+            rows = json.loads(legacy.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            rows = []
+        if isinstance(rows, list):
+            for row in rows:
+                record = _failure_from_dict(row)
+                if record is not None:
+                    records.append(record)
+    path = directory / "failures.jsonl"
+    if path.exists():
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            text = ""
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a killed writer's torn tail
+            record = _failure_from_dict(row)
+            if record is not None:
+                records.append(record)
+    return records
 
 
 @dataclass
@@ -441,6 +506,7 @@ class GridRunner:
     ) -> Dict[str, Dict[str, Any]]:
         executed: Dict[str, Dict[str, Any]] = {}
         workers = min(self.jobs, len(points))
+        self._preresolve_backends(points)
         # Workers start warm (drivers imported, signature catalogue and
         # scheme registry built) so only the first point of a run, not
         # every worker's first point, pays Python start-up costs.
@@ -482,6 +548,26 @@ class GridRunner:
                         futures[retry] = key
         return executed
 
+    @staticmethod
+    def _preresolve_backends(points: Sequence[GridPoint]) -> None:
+        """Resolve every backend the grid names, in the parent process.
+
+        A degraded backend (``numpy`` without numpy installed) then
+        warns exactly once — here — instead of once per pool worker;
+        :func:`_warm_worker` silences the workers' copies.  Resolution
+        is cached and stateless, so this does not change results.
+        """
+        from repro.core.backend import resolve_backend
+
+        names = {
+            value
+            for point in points
+            for name, value in point.knobs
+            if name == "sig_backend" and isinstance(value, str)
+        }
+        for backend in sorted(names):
+            resolve_backend(backend)
+
     # ------------------------------------------------------------------
     # Cache plumbing
     # ------------------------------------------------------------------
@@ -498,24 +584,32 @@ class GridRunner:
         self.cache.put(self.cache.key_for(payload), payload, result)
 
     def _persist_failures(self, failures: List[FailureRecord]) -> None:
+        """Append this run's failures to the cache's ``failures.jsonl``.
+
+        Append-only JSONL replaces the old read-modify-write of a single
+        ``failures.json`` array: two unlocked runners sharing a cache
+        directory could each read the same baseline and the second write
+        would silently drop the first's records (or interleave into
+        invalid JSON).  One buffered ``write`` of complete lines appends
+        atomically at line granularity on POSIX, and the tolerant reader
+        (:func:`load_failure_records`) skips a torn tail instead of
+        losing the whole log.
+        """
         if self.cache is None or not failures:
             return
-        import json
-
-        path = self.cache.directory / "failures.json"
-        existing: List[Dict[str, str]] = []
-        if path.exists():
-            try:
-                existing = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError):
-                existing = []
-        existing.extend(
-            {
-                "key": record.key,
-                "attempt": record.attempt,
-                "error": record.error,
-                "traceback": record.traceback,
-            }
+        lines = "".join(
+            json.dumps(
+                {
+                    "key": record.key,
+                    "attempt": record.attempt,
+                    "error": record.error,
+                    "traceback": record.traceback,
+                },
+                sort_keys=True,
+            )
+            + "\n"
             for record in failures
         )
-        path.write_text(json.dumps(existing, indent=2), encoding="utf-8")
+        path = self.cache.directory / "failures.jsonl"
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write(lines)

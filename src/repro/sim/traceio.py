@@ -52,15 +52,22 @@ _DECODERS = {
 }
 
 
-def _encode_event(event: MemEvent) -> list:
+def encode_event_row(event: MemEvent) -> list:
+    """One event in the compact array form (shared with the trace store)."""
     return _ENCODERS[event.kind](event)
 
 
-def _decode_event(row: list) -> MemEvent:
+def decode_event_row(row: list) -> MemEvent:
+    """Rebuild an event from its compact array form."""
     try:
         return _DECODERS[row[0]](row)
     except (KeyError, IndexError) as error:
         raise TraceError(f"malformed trace event {row!r}") from error
+
+
+# Historical private names (pre-trace-store callers).
+_encode_event = encode_event_row
+_decode_event = decode_event_row
 
 
 def save_tm_traces(

@@ -1,0 +1,265 @@
+"""Ingest: capture workloads into the trace store.
+
+Three capture paths, one per substrate, all driven by the *instrumented
+kernels and generators* the simulators already run — every array access
+a kernel performs is recorded as a word-accurate LOAD/STORE event, so an
+ingested trace carries genuine data flow, not a statistical profile:
+
+* :func:`ingest_tm` — the Table 4 kernels (``repro.workloads.kernels``);
+* :func:`ingest_tls` — the Table 6 task generators;
+* :func:`ingest_checkpoint` — the checkpoint epoch streams, stored with
+  one epoch marker per epoch.
+
+Plus :func:`import_jsonl`, a converter for the external JSON-lines
+format of :mod:`repro.sim.traceio` (dict headers + compact event
+arrays), extended with ``{"kind": "epoch", "mispredicted": ...}``
+headers for checkpoint traces — the integration path for traces captured
+outside this repository (e.g. by a binary-instrumentation run).
+
+Ingest is deterministic: the same (kind, app, sizing, seed) always
+produces the same record stream and therefore the same trace id, at any
+chunk size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Sequence, Union
+
+from repro.errors import TraceError
+from repro.sim.trace import ThreadTrace
+from repro.sim.traceio import decode_event_row, encode_event_row
+from repro.trace.records import header_row
+from repro.trace.store import (
+    DEFAULT_CHUNK_BYTES,
+    IngestResult,
+    TraceStore,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checkpoint.workload import CheckpointEpoch
+    from repro.tls.task import TlsTask
+
+
+# ----------------------------------------------------------------------
+# Workload objects -> record streams
+# ----------------------------------------------------------------------
+
+def tm_records(traces: Sequence[ThreadTrace]) -> Iterator[list]:
+    """The record stream of a TM thread-trace list."""
+    for trace in traces:
+        yield list(header_row("tm", trace.thread_id))
+        for event in trace.events:
+            yield encode_row(event)
+
+
+def tls_records(tasks: "Sequence[TlsTask]") -> Iterator[list]:
+    """The record stream of a TLS task list."""
+    for task in tasks:
+        yield list(header_row("tls", task.task_id, task.spawn_cursor))
+        for event in task.events:
+            yield encode_row(event)
+
+
+def checkpoint_records(
+    epochs: "Sequence[CheckpointEpoch]",
+) -> Iterator[list]:
+    """The record stream of a checkpoint epoch list."""
+    for epoch in epochs:
+        yield list(header_row("checkpoint", int(epoch.mispredicted)))
+        for op, address, value in epoch.ops:
+            if op == "load":
+                yield ["l", address]
+            elif op == "store":
+                yield ["s", address, value]
+            else:  # pragma: no cover - generator never emits others
+                raise TraceError(f"unknown checkpoint op {op!r}")
+
+
+def encode_row(event) -> list:
+    """One simulator event in record form."""
+    return encode_event_row(event)
+
+
+# ----------------------------------------------------------------------
+# Kernel capture
+# ----------------------------------------------------------------------
+
+def _ingest(
+    store: "Union[TraceStore, str, os.PathLike[str]]",
+    kind: str,
+    label: str,
+    meta: dict,
+    rows: Iterable[list],
+    chunk_bytes: int,
+) -> IngestResult:
+    if not isinstance(store, TraceStore):
+        store = TraceStore(store)
+    writer = store.writer(kind, label=label, meta=meta, chunk_bytes=chunk_bytes)
+    try:
+        writer.add_all(rows)
+        return writer.finish()
+    except BaseException:
+        writer.abort()
+        raise
+
+
+def ingest_tm(
+    store: "Union[TraceStore, str, os.PathLike[str]]",
+    app: str,
+    num_threads: int = 8,
+    txns_per_thread: int = 12,
+    seed: int = 42,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> IngestResult:
+    """Capture one Table 4 TM kernel run into the store."""
+    from repro.workloads.kernels import build_tm_workload
+
+    traces = build_tm_workload(
+        app, num_threads=num_threads, txns_per_thread=txns_per_thread,
+        seed=seed,
+    )
+    meta = {
+        "app": app,
+        "num_threads": num_threads,
+        "txns_per_thread": txns_per_thread,
+        "seed": seed,
+    }
+    return _ingest(store, "tm", app, meta, tm_records(traces), chunk_bytes)
+
+
+def ingest_tls(
+    store: "Union[TraceStore, str, os.PathLike[str]]",
+    app: str,
+    num_tasks: int = 160,
+    seed: int = 42,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> IngestResult:
+    """Capture one Table 6 TLS task stream into the store."""
+    from repro.workloads.tls_spec import build_tls_workload
+
+    tasks = build_tls_workload(app, num_tasks=num_tasks, seed=seed)
+    meta = {"app": app, "num_tasks": num_tasks, "seed": seed}
+    return _ingest(store, "tls", app, meta, tls_records(tasks), chunk_bytes)
+
+
+def ingest_checkpoint(
+    store: "Union[TraceStore, str, os.PathLike[str]]",
+    app: str,
+    num_epochs: int = 64,
+    seed: int = 42,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> IngestResult:
+    """Capture one checkpoint epoch stream into the store."""
+    from repro.checkpoint.workload import build_checkpoint_workload
+
+    epochs = build_checkpoint_workload(app, num_epochs=num_epochs, seed=seed)
+    meta = {"app": app, "num_epochs": num_epochs, "seed": seed}
+    return _ingest(
+        store, "checkpoint", app, meta, checkpoint_records(epochs), chunk_bytes
+    )
+
+
+#: Substrate kind -> kernel-capture function (CLI dispatch table).
+INGESTERS = {
+    "tm": ingest_tm,
+    "tls": ingest_tls,
+    "checkpoint": ingest_checkpoint,
+}
+
+
+# ----------------------------------------------------------------------
+# External JSONL conversion
+# ----------------------------------------------------------------------
+
+def _jsonl_rows(path: Path, kind: str) -> Iterator[list]:
+    """Translate one external JSONL file into store records.
+
+    Accepts the :mod:`repro.sim.traceio` format: a dict header per
+    replay unit (``{"kind": "thread", "id": ...}`` for TM,
+    ``{"kind": "task", "id": ..., "spawn": ...}`` for TLS,
+    ``{"kind": "epoch", "mispredicted": ...}`` for checkpoint) followed
+    by compact event arrays.  Events are round-tripped through the
+    simulator's event constructors so malformed input fails here, at
+    conversion time, never at replay time.
+    """
+    header_kinds = {"tm": "thread", "tls": "task", "checkpoint": "epoch"}
+    expected = header_kinds[kind]
+    saw_header = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceError(
+                    f"{path}:{line_number}: not JSON: {line[:60]!r}"
+                ) from error
+            if isinstance(row, dict):
+                if row.get("kind") != expected:
+                    raise TraceError(
+                        f"{path}:{line_number}: expected a {expected!r} "
+                        f"header for a {kind} trace, got {row!r}"
+                    )
+                saw_header = True
+                if kind == "tm":
+                    yield list(header_row("tm", int(row["id"])))
+                elif kind == "tls":
+                    yield list(
+                        header_row("tls", int(row["id"]), int(row["spawn"]))
+                    )
+                else:
+                    yield list(
+                        header_row(
+                            "checkpoint", int(bool(row["mispredicted"]))
+                        )
+                    )
+            else:
+                if not saw_header:
+                    raise TraceError(
+                        f"{path}:{line_number}: event before any header"
+                    )
+                if kind == "checkpoint":
+                    if not (
+                        isinstance(row, list)
+                        and row
+                        and row[0] in ("l", "s")
+                    ):
+                        raise TraceError(
+                            f"{path}:{line_number}: checkpoint traces hold "
+                            f"only loads and stores, got {row!r}"
+                        )
+                    yield row
+                else:
+                    # Validate through the event constructors, then
+                    # re-encode canonically.
+                    yield encode_row(decode_event_row(row))
+
+
+def import_jsonl(
+    store: "Union[TraceStore, str, os.PathLike[str]]",
+    path: "Union[str, os.PathLike[str]]",
+    kind: str,
+    label: str = "",
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> IngestResult:
+    """Convert an external JSONL trace file into the store."""
+    source = Path(path)
+    if kind not in INGESTERS:
+        raise TraceError(
+            f"unknown trace kind {kind!r} "
+            f"(kinds: {', '.join(sorted(INGESTERS))})"
+        )
+    meta = {"imported_from": source.name}
+    return _ingest(
+        store,
+        kind,
+        label or source.stem,
+        meta,
+        _jsonl_rows(source, kind),
+        chunk_bytes,
+    )

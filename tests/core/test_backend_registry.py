@@ -20,6 +20,7 @@ from repro.core.backend import (
     backend_names,
     register_backend,
     resolve_backend,
+    suppress_fallback_warnings,
     unregister_backend,
 )
 from repro.core.backend import registry as registry_module
@@ -155,6 +156,71 @@ class TestFallbackDegradation:
                 resolve_backend("hard")
         finally:
             unregister_backend("hard")
+
+
+@pytest.fixture
+def restore_suppression():
+    """Whatever a test sets, the process-global flag is restored."""
+    previous = registry_module._SUPPRESS_FALLBACK_USER_WARNING
+    yield
+    registry_module._SUPPRESS_FALLBACK_USER_WARNING = previous
+
+
+class TestWorkerWarningSuppression:
+    """Grid pool workers are fresh processes — without suppression the
+    'once per process' fallback warning prints once per *worker*."""
+
+    def test_suppression_silences_the_user_warning(
+        self, broken_backend, restore_suppression
+    ):
+        assert suppress_fallback_warnings() is False
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            backend = resolve_backend(broken_backend)
+        assert backend is resolve_backend("packed")
+
+    def test_suppression_keeps_the_warn_callable_path(
+        self, broken_backend, restore_suppression
+    ):
+        """A tracer's ``warn`` sink must still record the degradation
+        event — only the stderr duplicate is silenced."""
+        suppress_fallback_warnings()
+        messages = []
+        resolve_backend(broken_backend, warn=messages.append)
+        assert len(messages) == 1
+
+    def test_suppression_returns_the_previous_setting(
+        self, restore_suppression
+    ):
+        assert suppress_fallback_warnings(True) is False
+        assert suppress_fallback_warnings(False) is True
+        assert suppress_fallback_warnings(False) is False
+
+    def test_pool_workers_initialize_with_suppression(
+        self, restore_suppression
+    ):
+        from repro.runner.grid import _warm_worker
+
+        _warm_worker()
+        assert registry_module._SUPPRESS_FALLBACK_USER_WARNING is True
+
+    def test_parent_preresolves_grid_backends(self, monkeypatch):
+        """The parent resolves every backend the grid names before the
+        pool spawns, so the single warning comes from the parent."""
+        from repro.runner import GridRunner, tm_point
+
+        resolved = []
+        monkeypatch.setattr(
+            "repro.core.backend.resolve_backend",
+            lambda name: resolved.append(name),
+        )
+        points = [
+            tm_point("mc", sig_backend="numpy"),
+            tm_point("cb", sig_backend="numpy"),
+            tm_point("mc", seed=2),
+        ]
+        GridRunner._preresolve_backends(points)
+        assert resolved == ["numpy"]
 
 
 class TestNumpyUnavailable:

@@ -180,9 +180,15 @@ class TestRetryAndFailureLog:
         assert len(result.results) == 1
         assert [record.attempt for record in result.failures] == [1]
         assert "transient failure" in result.failures[0].error
-        # The failure log is persisted next to the cache.
-        persisted = json.loads((tmp_path / "failures.json").read_text())
+        # The failure log is persisted next to the cache (append-only
+        # JSONL: one complete JSON object per line).
+        lines = (tmp_path / "failures.jsonl").read_text().splitlines()
+        persisted = [json.loads(line) for line in lines]
         assert persisted[0]["key"] == tm_point("mc", txns_per_thread=2).key
+        records = grid_module.load_failure_records(tmp_path)
+        assert [record.key for record in records] == [
+            tm_point("mc", txns_per_thread=2).key
+        ]
 
     def test_permanent_failure_raises_after_budget(self, monkeypatch):
         def broken(payload):
