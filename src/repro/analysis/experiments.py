@@ -153,6 +153,7 @@ def run_tm_comparison(
     sig_backend: Optional[str] = None,
     trace: Optional[str] = None,
     trace_store: "Optional[object]" = None,
+    policy: Optional[str] = None,
 ) -> TmComparison:
     """Run one TM application under every scheme.
 
@@ -176,6 +177,13 @@ def run_tm_comparison(
     ``trace_store`` instead of generating the workload; ``app`` then
     only labels the comparison, and ``num_processors`` follows the
     trace's thread count.
+
+    ``policy`` (optional) attaches a scheme hot-swap policy spec (see
+    :mod:`repro.spec.policy`) to every per-scheme run; each run still
+    *starts* on its registry scheme, so the comparison remains
+    per-scheme while adaptive runs may migrate at commit boundaries.
+    ``None`` and ``"static"`` keep every run byte-identical to a
+    policy-less build.
     """
     params = _apply_bus(params, bus)
     params = _apply_sig_backend(params, sig_backend)
@@ -207,6 +215,7 @@ def run_tm_comparison(
             run_params,
             collect_samples=collect_samples and not entry.variant,
             obs=obs,
+            policy=policy,
         )
         result = system.run()
         comparison.cycles[entry.name] = result.cycles
@@ -242,6 +251,7 @@ def run_tls_comparison(
     sig_backend: Optional[str] = None,
     trace: Optional[str] = None,
     trace_store: "Optional[object]" = None,
+    policy: Optional[str] = None,
 ) -> TlsComparison:
     """Run one TLS application under every registered TLS scheme.
 
@@ -249,7 +259,9 @@ def run_tls_comparison(
     ``None`` keeps the legacy synchronous bus.  ``sig_backend``
     (optional) selects the signature storage backend by registry name.
     ``trace`` (optional) replays a stored trace id from ``trace_store``
-    instead of generating the task stream.
+    instead of generating the task stream.  ``policy`` (optional)
+    attaches a scheme hot-swap policy to every per-scheme run; ``None``
+    and ``"static"`` keep runs byte-identical to a policy-less build.
     """
     params = _apply_bus(params, bus)
     params = _apply_sig_backend(params, sig_backend)
@@ -264,7 +276,9 @@ def run_tls_comparison(
         tasks = build_tls_workload(app, num_tasks=num_tasks, seed=seed)
     comparison.sequential_cycles = simulate_sequential(tasks, params)
     for name in schemes:
-        result = TlsSystem(tasks, resolve_scheme("tls", name), params, obs=obs).run()
+        result = TlsSystem(
+            tasks, resolve_scheme("tls", name), params, obs=obs, policy=policy
+        ).run()
         result.stats.sequential_cycles = comparison.sequential_cycles
         comparison.cycles[name] = result.cycles
         comparison.stats[name] = result.stats
@@ -304,6 +318,7 @@ def run_checkpoint_comparison(
     sig_backend: Optional[str] = None,
     trace: Optional[str] = None,
     trace_store: "Optional[object]" = None,
+    policy: Optional[str] = None,
 ) -> CheckpointComparison:
     """Run one checkpoint workload under every registered scheme.
 
@@ -312,7 +327,9 @@ def run_checkpoint_comparison(
     ``bus`` (optional) selects the interconnect model by spec string;
     ``sig_backend`` (optional) selects the signature storage backend.
     ``trace`` (optional) replays a stored trace id from ``trace_store``
-    instead of generating the epoch stream.
+    instead of generating the epoch stream.  ``policy`` (optional)
+    attaches a scheme hot-swap policy to every per-scheme run; ``None``
+    and ``"static"`` keep runs byte-identical to a policy-less build.
     """
     params = _apply_bus(params, bus)
     params = _apply_sig_backend(params, sig_backend)
@@ -328,6 +345,7 @@ def run_checkpoint_comparison(
             params,
             rollback_depth=rollback_depth,
             obs=obs,
+            policy=policy,
         )
         stats = system.run()
         comparison.cycles[name] = stats.cycles

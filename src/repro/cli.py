@@ -99,6 +99,37 @@ def _sig_backend_spec(args: argparse.Namespace) -> Optional[str]:
     return name
 
 
+def _add_scheme_policy_argument(parser: argparse.ArgumentParser) -> None:
+    """The ``--scheme-policy`` flag, shared by the simulation subcommands.
+
+    The grammar lives in :mod:`repro.spec.policy` (``static``,
+    ``threshold:<metric><op><value>[,window=N]``, ``hysteresis:...``).
+    """
+    parser.add_argument(
+        "--scheme-policy", default="static", metavar="SPEC",
+        help="scheme hot-swap policy consulted at commit boundaries "
+        "('static' never swaps; e.g. 'threshold:squash_rate>0.2,"
+        "window=64' migrates Eager<->Bulk under contention)",
+    )
+
+
+def _scheme_policy_spec(args: argparse.Namespace) -> Optional[str]:
+    """The non-default ``--scheme-policy`` spec, or ``None`` at default.
+
+    ``None`` means callers pass *no* policy knob at all, keeping grid
+    cache keys and the golden artifacts byte-identical to builds that
+    predate the flag (the :func:`_sig_backend_spec` contract).  The
+    spec is validated here so a typo fails before any simulation work.
+    """
+    spec = getattr(args, "scheme_policy", "static")
+    if spec is None or spec == "static":
+        return None
+    from repro.spec.policy import parse_policy
+
+    parse_policy(spec)
+    return spec
+
+
 def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     """The trace-replay flags, shared by the simulation subcommands.
 
@@ -234,6 +265,7 @@ def _cmd_tm(args: argparse.Namespace) -> int:
         sig_backend=_sig_backend_spec(args),
         trace=trace,
         trace_store=trace_store,
+        policy=_scheme_policy_spec(args),
     )
     rows = []
     for scheme in scheme_names("tm", include_variants=args.partial):
@@ -285,6 +317,7 @@ def _cmd_tls(args: argparse.Namespace) -> int:
         sig_backend=_sig_backend_spec(args),
         trace=trace,
         trace_store=trace_store,
+        policy=_scheme_policy_spec(args),
     )
     rows = []
     for scheme in scheme_names("tls"):
@@ -351,6 +384,9 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     sig_backend = _sig_backend_spec(args)
     if sig_backend is not None:
         extra_knobs["sig_backend"] = sig_backend
+    policy = _scheme_policy_spec(args)
+    if policy is not None:
+        extra_knobs["policy"] = policy
     trace, trace_store, trace_error = _trace_spec(args)
     if trace_error:
         print(f"error: {trace_error}", file=sys.stderr)
@@ -507,6 +543,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     sig_backend = _sig_backend_spec(args)
     if sig_backend is not None:
         extra_knobs["sig_backend"] = sig_backend
+    policy = _scheme_policy_spec(args)
+    if policy is not None:
+        extra_knobs["policy"] = policy
     tls_points = {
         app: tls_point(
             app, seed=args.seed, num_tasks=args.tls_tasks, **extra_knobs
@@ -825,6 +864,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the metrics snapshot as JSON")
     _add_bus_arguments(tm)
     _add_sig_backend_argument(tm)
+    _add_scheme_policy_argument(tm)
     _add_trace_arguments(tm)
     tm.set_defaults(func=_cmd_tm)
 
@@ -838,6 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the metrics snapshot as JSON")
     _add_bus_arguments(tls)
     _add_sig_backend_argument(tls)
+    _add_scheme_policy_argument(tls)
     _add_trace_arguments(tls)
     tls.set_defaults(func=_cmd_tls)
 
@@ -864,6 +905,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(enables instrumentation)")
     _add_bus_arguments(checkpoint)
     _add_sig_backend_argument(checkpoint)
+    _add_scheme_policy_argument(checkpoint)
     _add_trace_arguments(checkpoint)
     checkpoint.set_defaults(func=_cmd_checkpoint)
 
@@ -966,6 +1008,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "(enables instrumentation)")
     _add_bus_arguments(reproduce)
     _add_sig_backend_argument(reproduce)
+    _add_scheme_policy_argument(reproduce)
     reproduce.set_defaults(func=_cmd_reproduce)
 
     return parser

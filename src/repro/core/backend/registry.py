@@ -37,19 +37,29 @@ DEFAULT_BACKEND_NAME = "packed"
 
 
 class BackendEntry:
-    """One registered backend: identity, factory, and degrade target."""
+    """One registered backend: identity, factory, and degrade target.
 
-    __slots__ = ("name", "factory", "fallback")
+    ``rank`` fixes the entry's position in the sorted listing; entries
+    registered without one sort after every ranked built-in,
+    alphabetically among themselves (the scheme registry's rule).
+    """
+
+    __slots__ = ("name", "factory", "fallback", "rank")
+
+    #: Sort rank assigned to unranked (dynamic) registrations.
+    UNRANKED = 1 << 20
 
     def __init__(
         self,
         name: str,
         factory: Callable[[], SignatureBackend],
         fallback: Optional[str] = None,
+        rank: Optional[int] = None,
     ) -> None:
         self.name = name
         self.factory = factory
         self.fallback = fallback
+        self.rank = self.UNRANKED if rank is None else rank
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         degrade = f", fallback={self.fallback!r}" if self.fallback else ""
@@ -91,6 +101,7 @@ def register_backend(
     factory: Callable[[], SignatureBackend],
     *,
     fallback: Optional[str] = None,
+    rank: Optional[int] = None,
 ) -> BackendEntry:
     """Register ``factory`` as the backend ``name``.
 
@@ -105,7 +116,7 @@ def register_backend(
         raise ConfigurationError(
             f"signature backend {name!r} is already registered"
         )
-    entry = BackendEntry(name, factory, fallback=fallback)
+    entry = BackendEntry(name, factory, fallback=fallback, rank=rank)
     _REGISTRY[name] = entry
     return entry
 
@@ -130,8 +141,13 @@ def backend_entry(name: str) -> BackendEntry:
 
 
 def backend_names() -> List[str]:
-    """Registered backend names, in registration order."""
-    return list(_REGISTRY)
+    """Registered backend names, deterministically sorted by (rank, name).
+
+    Stable no matter when each backend was registered, so CLI choices
+    and conformance-suite headers never depend on import order.
+    """
+    ordered = sorted(_REGISTRY.values(), key=lambda e: (e.rank, e.name))
+    return [entry.name for entry in ordered]
 
 
 def resolve_backend(
@@ -184,9 +200,9 @@ def _numpy_factory() -> SignatureBackend:
     return NumpySignatureBackend()
 
 
-# Builtin registrations, in presentation order.  ``pure`` and ``numpy``
-# import lazily so a default run never pays for storage backends it does
-# not select (and never needs numpy at all).
-register_backend("pure", _pure_factory)
-register_backend("packed", PackedSignatureBackend)
-register_backend("numpy", _numpy_factory, fallback="packed")
+# Builtin registrations; explicit ranks pin the presentation order.
+# ``pure`` and ``numpy`` import lazily so a default run never pays for
+# storage backends it does not select (and never needs numpy at all).
+register_backend("pure", _pure_factory, rank=0)
+register_backend("packed", PackedSignatureBackend, rank=1)
+register_backend("numpy", _numpy_factory, fallback="packed", rank=2)

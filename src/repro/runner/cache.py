@@ -59,10 +59,22 @@ def code_fingerprint() -> str:
 class ResultCache:
     """A directory of JSON result files, one per grid point."""
 
-    def __init__(self, directory: "str | os.PathLike[str]") -> None:
+    def __init__(
+        self,
+        directory: "str | os.PathLike[str]",
+        metrics: Optional[Any] = None,
+    ) -> None:
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        #: present the cache's hygiene actions are counted under
+        #: ``cache.swept_tmp`` and ``cache.corrupt_evicted``.
+        self.metrics = metrics
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._sweep_stale_temporaries()
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
 
     def _sweep_stale_temporaries(self) -> None:
         """Remove ``*.tmp`` leftovers of writers that died mid-``put``.
@@ -76,7 +88,8 @@ class ResultCache:
             try:
                 stale.unlink()
             except OSError:
-                pass  # concurrently published or swept by another opener
+                continue  # concurrently published or swept by another opener
+            self._count("cache.swept_tmp")
 
     def key_for(self, payload: Dict[str, Any]) -> str:
         """The cache key of a grid-point payload under the current code."""
@@ -108,7 +121,8 @@ class ResultCache:
             try:
                 path.unlink()
             except OSError:
-                pass  # another process repaired or removed it first
+                return None  # another process repaired or removed it first
+            self._count("cache.corrupt_evicted")
             return None
         if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
             return None

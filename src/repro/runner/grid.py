@@ -47,6 +47,9 @@ Knobs = Tuple[Tuple[str, Any], ...]
 #: artifacts (trace keys, per-point metrics, reconciliation headers) that
 #: must stay byte-identical across backends.  The execution/cache payload
 #: still carries them, so cached results never leak across backends.
+#: ``policy`` (the scheme hot-swap policy) is deliberately NOT here: an
+#: adaptive policy changes simulation results, so it must stay visible in
+#: both the label and the cache key.
 _LABEL_INVISIBLE_KNOBS = frozenset({"sig_backend"})
 
 
@@ -400,7 +403,19 @@ class GridRunner:
             raise ValueError("retries must be >= 0")
         self.jobs = default_jobs() if jobs is None else jobs
         self.retries = retries
-        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        if cache_dir is not None:
+            from repro.obs.metrics import MetricsRegistry
+
+            # Parent-side registry: cache hygiene (stale-temporary sweeps,
+            # corrupt-entry evictions) happens in this process, before any
+            # worker exists, so it cannot ride the per-point snapshots.
+            self.cache_metrics: Optional[Any] = MetricsRegistry()
+            self.cache: Optional[ResultCache] = ResultCache(
+                cache_dir, metrics=self.cache_metrics
+            )
+        else:
+            self.cache_metrics = None
+            self.cache = None
         self.observability = observability
         self.failure_log: List[FailureRecord] = []
 

@@ -1,9 +1,9 @@
 """Built-in scheme registrations for the three substrates.
 
-Imported lazily by the registry on first query.  Registration order is
-canonical run/report order and must not change — the determinism suite
-pins ``reproduce`` output byte for byte, and the tables print schemes in
-this order:
+Imported lazily by the registry on first query.  Each registration
+carries an explicit ``rank`` pinning the canonical run/report order —
+the determinism suite pins ``reproduce`` output byte for byte, and the
+tables print schemes in this order:
 
 * TM:  Eager, Lazy, Bulk, then the Bulk-Partial variant;
 * TLS: Eager, Lazy, Bulk (Partial Overlap on), BulkNoOverlap;
@@ -82,21 +82,24 @@ def _checkpoint_bulk():
     return BulkCheckpointScheme()
 
 
-register_scheme("tm", "Eager", _tm_eager)
-register_scheme("tm", "Lazy", _tm_lazy)
-register_scheme("tm", "Bulk", _tm_bulk)
+# Explicit ranks pin the canonical order independently of registration
+# time; the sorted listings (see repro.spec.registry) must reproduce it.
+register_scheme("tm", "Eager", _tm_eager, rank=0)
+register_scheme("tm", "Lazy", _tm_lazy, rank=1)
+register_scheme("tm", "Bulk", _tm_bulk, rank=2)
 register_scheme(
     "tm",
     "Bulk-Partial",
     _tm_bulk_partial,
     variant=True,
     params={"partial_rollback": True},
+    rank=3,
 )
 
-register_scheme("tls", "Eager", _tls_eager)
-register_scheme("tls", "Lazy", _tls_lazy)
-register_scheme("tls", "Bulk", _tls_bulk)
-register_scheme("tls", "BulkNoOverlap", _tls_bulk_no_overlap)
+register_scheme("tls", "Eager", _tls_eager, rank=0)
+register_scheme("tls", "Lazy", _tls_lazy, rank=1)
+register_scheme("tls", "Bulk", _tls_bulk, rank=2)
+register_scheme("tls", "BulkNoOverlap", _tls_bulk_no_overlap, rank=3)
 
-register_scheme("checkpoint", "Exact", _checkpoint_exact)
-register_scheme("checkpoint", "Bulk", _checkpoint_bulk)
+register_scheme("checkpoint", "Exact", _checkpoint_exact, rank=0)
+register_scheme("checkpoint", "Bulk", _checkpoint_bulk, rank=1)

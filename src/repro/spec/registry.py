@@ -7,9 +7,12 @@ disambiguation schemes here, and the CLI, the experiment drivers, the
 grid runner, and the report headers all *derive* their scheme lists from
 it instead of repeating literal tuples.
 
-Entries are kept in registration order, which is also the canonical
-run/report order (``Eager``, ``Lazy``, ``Bulk``, ...), so iterating the
-registry reproduces the historical output byte for byte.
+Listings are sorted by ``(rank, name)``: the built-ins carry explicit
+ranks pinning the canonical run/report order (``Eager``, ``Lazy``,
+``Bulk``, ...) so the historical output is reproduced byte for byte,
+while dynamically registered schemes (tests, extensions) sort after the
+built-ins alphabetically — the listing no longer depends on *when* a
+scheme was registered, only on what is registered.
 
 Schemes that are parameter *variants* of another scheme rather than
 independent baselines (today only TM's ``Bulk-Partial``, which is plain
@@ -32,9 +35,17 @@ class SchemeEntry:
     ``params`` holds keyword overrides a driver applies to the substrate's
     parameter dataclass before running this scheme (``Bulk-Partial`` sets
     ``partial_rollback=True``); schemes with no overrides leave it empty.
+
+    ``rank`` fixes the entry's position in sorted listings; entries
+    registered without one (``None``) sort after every ranked built-in,
+    alphabetically among themselves.
     """
 
-    __slots__ = ("substrate", "name", "factory", "variant", "params")
+    __slots__ = ("substrate", "name", "factory", "variant", "params", "rank")
+
+    #: Sort rank assigned to unranked (dynamic) registrations — after
+    #: every explicitly ranked built-in.
+    UNRANKED = 1 << 20
 
     def __init__(
         self,
@@ -43,12 +54,19 @@ class SchemeEntry:
         factory: Callable[[], Any],
         variant: bool = False,
         params: Dict[str, Any] = None,
+        rank: int = None,
     ) -> None:
         self.substrate = substrate
         self.name = name
         self.factory = factory
         self.variant = variant
         self.params: Dict[str, Any] = dict(params or {})
+        self.rank = self.UNRANKED if rank is None else rank
+
+    @property
+    def sort_key(self) -> Tuple[int, str]:
+        """Deterministic listing order: rank first, then name."""
+        return (self.rank, self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flag = ", variant" if self.variant else ""
@@ -80,20 +98,25 @@ def register_scheme(
     *,
     variant: bool = False,
     params: Dict[str, Any] = None,
+    rank: int = None,
 ) -> SchemeEntry:
     """Register ``factory`` as substrate ``substrate``'s scheme ``name``.
 
     ``factory`` takes no arguments and returns a fresh scheme instance —
     schemes hold per-run state, so the registry never caches instances.
     Registering a (substrate, name) pair twice is a configuration error;
-    tests that need to replace an entry unregister it first.
+    tests that need to replace an entry unregister it first.  ``rank``
+    pins the entry's listing position (built-ins only); unranked entries
+    list after every ranked one, sorted by name.
     """
     entries = _REGISTRY.setdefault(substrate, {})
     if name in entries:
         raise ConfigurationError(
             f"scheme {substrate}:{name} is already registered"
         )
-    entry = SchemeEntry(substrate, name, factory, variant=variant, params=params)
+    entry = SchemeEntry(
+        substrate, name, factory, variant=variant, params=params, rank=rank
+    )
     entries[name] = entry
     return entry
 
@@ -137,10 +160,12 @@ def resolve_scheme(substrate: str, name: str) -> Any:
 
 
 def scheme_names(substrate: str, include_variants: bool = False) -> List[str]:
-    """Registered scheme names for ``substrate``, in registration order.
+    """Registered scheme names for ``substrate``, deterministically sorted.
 
-    Variants (``Bulk-Partial``) are appended after the core schemes only
-    when ``include_variants`` is set, mirroring the CLI's ``--partial``
+    Order is ``(rank, name)`` — identical no matter when each scheme was
+    registered, so report headers and CLI listings are stable.  Variants
+    (``Bulk-Partial``) are appended after the core schemes only when
+    ``include_variants`` is set, mirroring the CLI's ``--partial``
     behaviour.  Unknown substrates raise
     :class:`~repro.errors.UnknownSchemeError`.
     """
@@ -148,9 +173,10 @@ def scheme_names(substrate: str, include_variants: bool = False) -> List[str]:
     entries = _REGISTRY.get(substrate)
     if entries is None:
         raise UnknownSchemeError(substrate, known=list(_REGISTRY))
-    names = [e.name for e in entries.values() if not e.variant]
+    ordered = sorted(entries.values(), key=lambda e: e.sort_key)
+    names = [e.name for e in ordered if not e.variant]
     if include_variants:
-        names += [e.name for e in entries.values() if e.variant]
+        names += [e.name for e in ordered if e.variant]
     return names
 
 

@@ -32,6 +32,18 @@ class TlsScheme(SpecScheme):
     #: whose live-in squashes are *correct* under its own semantics.
     overlap_reference: bool = True
 
+    #: Whether a cache hit on a wrong-version copy re-fetches instead of
+    #: consuming the stale value.  True for access-time schemes (Eager),
+    #: whose versioned coherence protocol always delivers correct data at
+    #: the access — a stale copy can exist only because an *older* task's
+    #: fill legally re-created the line after a newer store invalidated
+    #: it, and real versioned hardware would miss on it.  Commit-time
+    #: schemes keep False: reading stale there is a legal transient the
+    #: committer's disambiguation squashes, and the system's
+    #: ``pending_stale`` oracle must keep watching for the cases it
+    #: misses.
+    stale_hit_refetches: bool = False
+
     # ------------------------------------------------------------------
     # Lifecycle hooks
     # ------------------------------------------------------------------
@@ -54,6 +66,15 @@ class TlsScheme(SpecScheme):
         self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
     ) -> None:
         """The task's cursor reached its spawn position (each attempt)."""
+
+    def on_respawn(
+        self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
+    ) -> None:
+        """A jointly-squashed child is re-created by its parent's replayed
+        spawn.  Partial-Overlap schemes re-broadcast the spawn flush here:
+        between the squash and this respawn, older co-resident tasks'
+        replay fills may have re-created copies that are stale for the
+        child on shadow-excluded words."""
 
     # ------------------------------------------------------------------
     # Access hooks

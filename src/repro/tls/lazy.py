@@ -38,6 +38,18 @@ class TlsLazyScheme(TlsScheme):
     def on_dispatch(
         self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
     ) -> None:
+        self._spawn_flush(system, proc, state)
+
+    def on_respawn(
+        self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
+    ) -> None:
+        # The replayed spawn command re-broadcasts the parent's pre-spawn
+        # write set and re-flushes the child's cache.
+        self._spawn_flush(system, proc, state)
+
+    def _spawn_flush(
+        self, system: "TlsSystem", proc: "TlsProcessor", state: TaskState
+    ) -> None:
         if state.task_id == 0:
             return
         parent = system.tasks[state.task_id - 1]
@@ -46,9 +58,7 @@ class TlsLazyScheme(TlsScheme):
         flushed = False
         for word in parent.prespawn_write_words:
             line_address = byte_to_line(word << 2)
-            line = proc.cache.lookup(line_address, touch=False)
-            if line is not None and not line.dirty:
-                proc.cache.invalidate(line_address)
+            if system.spawn_flush_line(proc, state, parent, line_address):
                 flushed = True
         if flushed or parent.prespawn_write_words:
             system.bus.record(MessageKind.SPAWN_SIGNATURE, payload_bytes=max(

@@ -82,6 +82,7 @@ class TlsSystem(SpecSystemCore):
         collect_samples: bool = False,
         max_samples: int = 4000,
         obs: Optional[Observability] = None,
+        policy: Optional[str] = None,
     ) -> None:
         if not tasks:
             raise SimulationError("a TLS system needs at least one task")
@@ -116,6 +117,7 @@ class TlsSystem(SpecSystemCore):
         self._scheduler: Optional[MinClockScheduler] = None
         for proc in self.processors:
             scheme.setup_processor(self, proc)
+        self.attach_swap_policy(policy)
 
     # ------------------------------------------------------------------
     # Run loop
@@ -334,6 +336,7 @@ class TlsSystem(SpecSystemCore):
                     assert child_state.proc is not None
                     child_proc = self.processors[child_state.proc]
                     child_proc.clock = max(child_proc.clock, proc.clock)
+                    self.scheme.on_respawn(self, child_proc, child_state)
                     self._wake(child_proc)
 
     # ------------------------------------------------------------------
@@ -361,11 +364,23 @@ class TlsSystem(SpecSystemCore):
         expected = self._expected_value(state, word)
         line = proc.cache.lookup(line_address)
         if line is not None:
-            proc.clock += self.params.hit_cycles
-            if line.read_word(word) != expected:
-                # Speculatively reading a stale value: legal, but the
-                # task must be squashed before it commits.
-                state.pending_stale.add(word)
+            if (
+                line.read_word(word) != expected
+                and self.scheme.stale_hit_refetches
+            ):
+                # Access-time disambiguation rides a versioned coherence
+                # protocol: a hit on a wrong-version copy is a miss.  The
+                # copy was legally re-created by an *older* task's fill
+                # after a newer store invalidated it; re-fetch so eager
+                # forwarding delivers the correct version.
+                proc.cache.invalidate(line_address)
+                self._miss_fill(proc, state, line_address)
+            else:
+                proc.clock += self.params.hit_cycles
+                if line.read_word(word) != expected:
+                    # Speculatively reading a stale value: legal, but the
+                    # task must be squashed before it commits.
+                    state.pending_stale.add(word)
         else:
             self._miss_fill(proc, state, line_address)
         state.record_load(byte_address)
@@ -468,6 +483,60 @@ class TlsSystem(SpecSystemCore):
                 other.cache.clean(line_address)
             break
 
+    def _speculative_dirty(self, proc: TlsProcessor, line_address: int) -> bool:
+        """Whether a dirty copy on ``proc`` holds an active resident
+        task's speculative data (log-backed) rather than committed
+        state mirroring memory."""
+        base = line_address << 4
+        for task_id in proc.resident:
+            state = self.tasks[task_id]
+            if not state.is_active():
+                continue
+            if any(base + offset in state.write_log for offset in range(16)):
+                return True
+        return False
+
+    def spawn_flush_line(
+        self,
+        proc: TlsProcessor,
+        child: TaskState,
+        parent: TaskState,
+        line_address: int,
+    ) -> bool:
+        """Flush one cached line for a Partial-Overlap spawn command.
+
+        The child must not consume a cached copy that pre-dates the
+        parent's pre-spawn stores: the shadow exclusion means the
+        parent's commit will never squash the child over those words, so
+        a stale copy here is a silently missed dependence.  Clean copies
+        are invalidated unconditionally (the paper's rule).  A dirty copy
+        is kept only while its value for every parent-pre-spawn word on
+        the line matches the child's correct view — a current forwarded
+        copy — and is otherwise flushed too: non-speculative dirty
+        mirrors memory (writeback-invalidate, as at commits) and
+        speculative dirty is backed by its owner's log, so a refill
+        reconstructs it.  Returns True if a copy was invalidated.
+        """
+        line = proc.cache.lookup(line_address, touch=False)
+        if line is None:
+            return False
+        if line.dirty:
+            base = line_address << 4
+            stale = any(
+                base + offset in parent.prespawn_write_words
+                and line.read_word(base + offset)
+                != self._expected_value(child, base + offset)
+                for offset in range(16)
+            )
+            if not stale:
+                return False
+            if not self._speculative_dirty(proc, line_address):
+                self.bus.record(
+                    MessageKind.WRITEBACK, now=proc.clock, port=proc.pid
+                )
+        proc.cache.invalidate(line_address)
+        return True
+
     # ------------------------------------------------------------------
     # Commit
     # ------------------------------------------------------------------
@@ -563,6 +632,8 @@ class TlsSystem(SpecSystemCore):
         self._dispatch_all(commit_time)
         for other_proc in self.processors:
             self._wake(other_proc)
+        if self._swap_policy is not None:
+            self._maybe_policy_swap(commit_time)
 
     def _note_direct_squash_stats(
         self, dependence: int, false_positive: bool
@@ -624,6 +695,62 @@ class TlsSystem(SpecSystemCore):
             # the measurement at the replay's start.
             self.start_unit_timer(state.task_id, proc.clock)
             self._wake(proc)
+
+    # ------------------------------------------------------------------
+    # Scheme hot-swap
+    # ------------------------------------------------------------------
+
+    def _swap_clock(self) -> int:
+        return max(
+            self.last_commit_time, max(proc.clock for proc in self.processors)
+        )
+
+    def _swap_apply(self, old: TlsScheme, new: TlsScheme, now: int) -> int:
+        squashed = 0
+        active = self.active_tasks()
+        if old.state_kind == "signature" and active:
+            # Signature state cannot be enumerated back into exact sets:
+            # conservatively squash all in-flight speculation, mirroring
+            # the paper's one-sided false-positive guarantee (Section 3).
+            squashed += len(active)
+            self.squash_from(active[0].task_id, now, cause="swap")
+        elif new.state_kind == "signature":
+            # The incoming scheme holds at most ``bdm_contexts`` resident
+            # tasks per processor; pre-squash the most-speculative excess
+            # so the import can give every survivor a version context.
+            limit = self.params.bdm_contexts
+            first_excess: Optional[int] = None
+            for proc in self.processors:
+                live = sorted(
+                    tid
+                    for tid in proc.resident
+                    if self.tasks[tid].is_active()
+                )
+                if len(live) > limit:
+                    candidate = live[limit]
+                    if first_excess is None or candidate < first_excess:
+                        first_excess = candidate
+            if first_excess is not None:
+                squashed += sum(
+                    1
+                    for t in self.active_tasks()
+                    if t.task_id >= first_excess
+                )
+                self.squash_from(first_excess, now, cause="swap")
+        exports = {
+            proc.pid: old.export_processor_state(self, proc)
+            for proc in self.processors
+        }
+        for proc in self.processors:
+            old.teardown_processor(self, proc)
+        self.scheme = new
+        for proc in self.processors:
+            new.setup_processor(self, proc)
+        for proc in self.processors:
+            new.import_processor_state(self, proc, exports[proc.pid])
+        for proc in self.processors:
+            self._wake(proc)
+        return squashed
 
     # ------------------------------------------------------------------
     # Exact word-grain merge helper (used by the exact schemes)

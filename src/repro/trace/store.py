@@ -450,7 +450,13 @@ class TraceReader:
                 f"trace {self.info.trace_id!r}: chunk {row['filename']} "
                 "is corrupt (SHA-256 mismatch)"
             )
-        payload = zlib.decompress(compressed)
+        try:
+            payload = zlib.decompress(compressed)
+        except zlib.error as error:
+            raise TraceError(
+                f"trace {self.info.trace_id!r}: chunk {row['filename']} "
+                f"fails to decompress ({error})"
+            ) from error
         if len(payload) != row["encoded_bytes"]:
             raise TraceError(
                 f"trace {self.info.trace_id!r}: chunk {row['filename']} "

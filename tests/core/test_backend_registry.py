@@ -265,3 +265,21 @@ class TestNumpyUnavailable:
             )
         baseline = run_tm_comparison("mc", txns_per_thread=2, seed=3)
         assert degraded.cycles == baseline.cycles
+
+
+class TestDeterministicOrdering:
+    """`backend_names()` order depends only on what is registered."""
+
+    def test_shuffled_registration_lists_canonically(self):
+        # Reverse-alphabetical insertion; listing must still come out
+        # ranked built-ins first, then dynamics sorted by name.
+        for name in ("zz-toy", "aa-toy"):
+            register_backend(name, PackedSignatureBackend)
+        try:
+            assert backend_names() == [
+                "pure", "packed", "numpy", "aa-toy", "zz-toy",
+            ]
+        finally:
+            for name in ("zz-toy", "aa-toy"):
+                unregister_backend(name)
+        assert backend_names() == ["pure", "packed", "numpy"]

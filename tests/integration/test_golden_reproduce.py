@@ -34,15 +34,15 @@ GOLDEN_MANIFEST = {
     "fig14.txt": "e89bc025f01546a73d98c822dcdbc1d9009cf97c113d0fe58ddf41e642f79f1e",
     "fig15.csv": "10f845198903793ce532fbb58c76801b157aa452be11ae6b3926f455b76ec217",
     "fig15.txt": "cdaf9a82fad418f767b4e2c7e6d7f1591518942c9cae11ab368129edcd38b0ab",
-    "metrics.json": "620842aa996beb0ca571c415f789a3689e6b8cdb0b80a4d380496a21c1f09f1f",
-    "reconciliation.txt": "0b373889791cfd919c96468d7e7ad7c1f2ddd4461011246d19aa3785dc261fe8",
+    "metrics.json": "63cc797be44a1abb477a77d9c60c3c9fa9b141ddc3316c65b76dc07e6aac9466",
+    "reconciliation.txt": "ca4c85b82c88011b1a0df9f9ac1341e2ec191eb56fe8415d19cbdd0847216331",
     "table6.csv": "df869534ba0260cdcd4d24bee39be2bcea5fb33db08e6aa85b7a556feee452b0",
     "table6.txt": "f3f56c5174a1ed72c18bb7ec48d7436986b50c347ae1732612e46ccd6f3b4ec3",
     "table7.csv": "bf49e82b0b504fd47930face2f53a85b16e2fb624b62a81b2177fd32315360bb",
     "table7.txt": "974fd01ff8fc2c9e64fd3ba5ace4b7e8d607e9cf104cc2403d6d77783b35d8ea",
     "table8.csv": "e316c629b1dfbd40a394fe6ee9e1cf893f3b64830caa65440de006646b63c981",
     "table8.txt": "f78b81b2425d3368a8b4c5c24cc42ece118e42b3bd1461afe693a46592f6c47b",
-    "trace.jsonl": "2724bbe6c8a4a4ce7879852490285ea2d15ad187e59ba99bd24f69229d95495a",
+    "trace.jsonl": "515cdef068aef04d7a6d4b5f62e3179b252e1d41e828b3d084e4e9d15cdefe9a",
 }
 
 

@@ -1,0 +1,177 @@
+"""The swap-policy grammar and decision layer.
+
+``parse_policy`` is the CLI's one entry point for ``--scheme-policy``
+specs, so every malformed spec must die there with a typed
+:class:`~repro.errors.ConfigurationError` — never inside a running
+simulation.  The decision tests drive ``decide`` with a hand-rolled
+view object: policies only read counters, so any object with the
+``PolicyView`` attributes works and no simulator needs to exist.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spec.policy import (
+    HysteresisPolicy,
+    SwapPolicy,
+    ThresholdPolicy,
+    parse_policy,
+)
+
+
+class FakeView:
+    """Stand-in for PolicyView: bare counters a test can script."""
+
+    def __init__(self, commits=0, squashes=0, false_positives=0, bus_wait=0):
+        self.commits = commits
+        self.squashes = squashes
+        self.false_positive_squashes = false_positives
+        self.bus_wait_cycles = bus_wait
+
+
+class TestGrammar:
+    def test_none_and_static_mean_no_policy(self):
+        assert parse_policy(None) is None
+        assert parse_policy("static") is None
+
+    def test_static_takes_no_parameters(self):
+        with pytest.raises(ConfigurationError, match="no parameters"):
+            parse_policy("static:window=4")
+
+    def test_unknown_policy_name(self):
+        with pytest.raises(ConfigurationError, match="unknown swap policy"):
+            parse_policy("oracle")
+
+    def test_threshold_defaults(self):
+        policy = parse_policy("threshold")
+        assert isinstance(policy, ThresholdPolicy)
+        assert policy.metric == "squash_rate"
+        assert policy.threshold == 0.2
+        assert policy.window == 64
+        assert policy.high == "Bulk"
+        assert policy.low is None
+
+    def test_threshold_full_spec_round_trips(self):
+        spec = "threshold:false_positive_rate>0.05,window=16,high=Bulk,low=Eager"
+        policy = parse_policy(spec)
+        assert policy.metric == "false_positive_rate"
+        assert policy.threshold == 0.05
+        assert policy.window == 16
+        assert policy.low == "Eager"
+        assert policy.spec == spec
+
+    def test_threshold_rejects_unknown_metric(self):
+        with pytest.raises(ConfigurationError, match="unknown swap-policy metric"):
+            parse_policy("threshold:abort_rate>0.5")
+
+    def test_threshold_rejects_unknown_clause(self):
+        with pytest.raises(ConfigurationError, match="unknown threshold"):
+            parse_policy("threshold:squash_rate>0.2,windw=8")
+
+    def test_threshold_rejects_bad_numbers(self):
+        with pytest.raises(ConfigurationError, match="not a number"):
+            parse_policy("threshold:squash_rate>lots")
+        with pytest.raises(ConfigurationError, match="not an integer"):
+            parse_policy("threshold:squash_rate>0.2,window=two")
+        with pytest.raises(ConfigurationError, match="window must be >= 1"):
+            parse_policy("threshold:squash_rate>0.2,window=0")
+
+    def test_malformed_and_duplicate_clauses(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            parse_policy("threshold:squash_rate>0.2,window")
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            parse_policy("threshold:squash_rate>0.2,window=4,window=8")
+
+    def test_hysteresis_defaults(self):
+        policy = parse_policy("hysteresis")
+        assert isinstance(policy, HysteresisPolicy)
+        assert policy.high_threshold == 0.35
+        assert policy.low_threshold == 0.15
+        assert policy.window == 64
+        assert policy.dwell == 2
+        assert policy.to == "Bulk"
+
+    def test_hysteresis_rejects_inverted_thresholds(self):
+        with pytest.raises(ConfigurationError, match="low <= high"):
+            parse_policy("hysteresis:high=0.1,low=0.5")
+
+    def test_hysteresis_rejects_negative_dwell(self):
+        with pytest.raises(ConfigurationError, match="dwell must be >= 0"):
+            parse_policy("hysteresis:dwell=-1")
+
+    def test_hysteresis_rejects_unknown_clause(self):
+        with pytest.raises(ConfigurationError, match="unknown hysteresis"):
+            parse_policy("hysteresis:hig=0.4")
+
+    def test_base_decide_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            SwapPolicy().decide(FakeView(), "Eager", 0)
+
+
+class TestThresholdDecisions:
+    def test_first_boundary_only_anchors(self):
+        policy = parse_policy("threshold:squash_rate>0.2,window=4")
+        assert policy.decide(FakeView(commits=0, squashes=0), "Eager", 0) is None
+
+    def test_quiet_window_stays_put(self):
+        policy = parse_policy("threshold:squash_rate>0.2,window=4")
+        policy.decide(FakeView(commits=0, squashes=0), "Eager", 0)
+        # 4 commits, 0 squashes: rate 0 <= 0.2, and low defaults to the
+        # initial scheme, which is already resident.
+        assert policy.decide(FakeView(commits=4, squashes=0), "Eager", 10) is None
+
+    def test_contended_window_names_the_high_scheme(self):
+        policy = parse_policy("threshold:squash_rate>0.2,window=4")
+        policy.decide(FakeView(commits=0, squashes=0), "Eager", 0)
+        decision = policy.decide(FakeView(commits=4, squashes=3), "Eager", 10)
+        assert decision == "Bulk"
+
+    def test_partial_window_defers(self):
+        policy = parse_policy("threshold:squash_rate>0.2,window=4")
+        policy.decide(FakeView(commits=0, squashes=0), "Eager", 0)
+        assert policy.decide(FakeView(commits=3, squashes=3), "Eager", 5) is None
+
+    def test_quiet_window_returns_to_the_initial_scheme(self):
+        policy = parse_policy("threshold:squash_rate>0.2,window=4")
+        policy.decide(FakeView(commits=0, squashes=0), "Eager", 0)
+        assert policy.decide(FakeView(commits=4, squashes=4), "Eager", 1) == "Bulk"
+        # Windowed, not cumulative: the next window is quiet even though
+        # the cumulative squash count is high.
+        assert policy.decide(FakeView(commits=8, squashes=4), "Bulk", 2) == "Eager"
+
+    def test_explicit_low_scheme_wins_over_initial(self):
+        policy = parse_policy("threshold:squash_rate>0.2,window=2,low=Lazy")
+        policy.decide(FakeView(commits=0, squashes=0), "Eager", 0)
+        assert policy.decide(FakeView(commits=2, squashes=0), "Eager", 1) == "Lazy"
+
+
+class TestHysteresisDecisions:
+    def spec(self, dwell):
+        return parse_policy(
+            f"hysteresis:high=0.5,low=0.1,window=2,dwell={dwell}"
+        )
+
+    def test_up_swap_needs_the_high_threshold(self):
+        policy = self.spec(dwell=0)
+        policy.decide(FakeView(commits=0, squashes=0), "Eager", 0)
+        # rate 0.5 is not > 0.5: stays.
+        assert policy.decide(FakeView(commits=2, squashes=1), "Eager", 1) is None
+        assert policy.decide(FakeView(commits=4, squashes=3), "Eager", 2) == "Bulk"
+
+    def test_down_swap_needs_the_low_threshold(self):
+        policy = self.spec(dwell=0)
+        policy.decide(FakeView(commits=0, squashes=0), "Eager", 0)
+        assert policy.decide(FakeView(commits=2, squashes=2), "Eager", 1) == "Bulk"
+        # rate 0.5 sits between the thresholds: no thrash in either
+        # direction.
+        assert policy.decide(FakeView(commits=4, squashes=3), "Bulk", 2) is None
+        assert policy.decide(FakeView(commits=6, squashes=3), "Bulk", 3) == "Eager"
+
+    def test_dwell_suppresses_back_to_back_swaps(self):
+        policy = self.spec(dwell=2)
+        policy.decide(FakeView(commits=0, squashes=0), "Eager", 0)
+        # Hot from the first full window, but dwell=2 demands three
+        # windows between swaps.
+        assert policy.decide(FakeView(commits=2, squashes=2), "Eager", 1) is None
+        assert policy.decide(FakeView(commits=4, squashes=4), "Eager", 2) is None
+        assert policy.decide(FakeView(commits=6, squashes=6), "Eager", 3) == "Bulk"

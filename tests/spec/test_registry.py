@@ -107,3 +107,38 @@ class TestDynamicRegistration:
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ConfigurationError):
             register_scheme("tm", "Bulk", object)
+
+
+class TestDeterministicOrdering:
+    """Listings depend only on *what* is registered, never on *when*.
+
+    The canonical order is ``(rank, name)``: ranked built-ins first in
+    their pinned positions, then dynamic registrations alphabetically.
+    Registering in a deliberately shuffled order must not show through.
+    """
+
+    def test_shuffled_registration_lists_canonically(self):
+        class Toy(SpecScheme):
+            name = "toy"
+
+            def commit_packet(self, system, unit):
+                return 0
+
+        # Worst-case insertion order: reverse-alphabetical.
+        for name in ("Zeta", "Mid", "Alpha"):
+            register_scheme("tm", name, Toy)
+        try:
+            assert scheme_names("tm") == [
+                "Eager", "Lazy", "Bulk", "Alpha", "Mid", "Zeta",
+            ]
+            assert [entry.name for entry in scheme_entries("tm")] == [
+                "Eager", "Lazy", "Bulk", "Alpha", "Mid", "Zeta",
+            ]
+            # Variants still append after everything else.
+            assert scheme_names("tm", include_variants=True)[-1] == (
+                "Bulk-Partial"
+            )
+        finally:
+            for name in ("Zeta", "Mid", "Alpha"):
+                unregister_scheme("tm", name)
+        assert scheme_names("tm") == ["Eager", "Lazy", "Bulk"]

@@ -1,0 +1,200 @@
+"""The scheme hot-swap seam: legality, quiescing, and accounting.
+
+``swap_scheme`` is the one door between a running system and the
+registry.  These tests pin the door's contract on real substrates:
+illegal swaps die with the typed :class:`~repro.errors.SchemeSwapError`
+before touching any state, completed swaps reconcile across the
+``scheme.swaps`` counter and the ``scheme.swap`` trace events, and the
+default static configuration stays byte-identical to a build without
+the swap layer (the golden manifest pins the same thing end to end).
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_checkpoint_comparison,
+    run_tls_comparison,
+    run_tm_comparison,
+)
+from repro.errors import SchemeSwapError, UnknownSchemeError
+from repro.obs import Observability
+from repro.sim.trace import ThreadTrace, load, store, tx_begin, tx_end
+from repro.tm.bulk import BulkScheme
+from repro.tm.eager import EagerScheme
+from repro.tm.params import TmParams
+from repro.tm.system import TmSystem
+
+#: Always-hot threshold: any windowed rate beats -1, so every non-Bulk
+#: run deterministically swaps to Bulk after the first full window.
+ALWAYS_SWAP = "threshold:squash_rate>-1,window=2"
+
+
+def small_tm_system(scheme=None, params=TmParams(num_processors=2), obs=None):
+    traces = [
+        ThreadTrace(0, [tx_begin(), load(0x1000), store(0x1040, 7), tx_end()]),
+        ThreadTrace(1, [tx_begin(), load(0x2000), store(0x2040, 9), tx_end()]),
+    ]
+    return TmSystem(traces, scheme or EagerScheme(), params, obs=obs)
+
+
+class TestSwapLegality:
+    def test_swap_to_the_resident_scheme_is_a_noop(self):
+        system = small_tm_system()
+        assert system.swap_scheme("Eager") is False
+        assert system.scheme.name == "Eager"
+
+    def test_manual_swap_exchanges_the_scheme(self):
+        system = small_tm_system()
+        assert system.swap_scheme("Bulk") is True
+        assert system.scheme.name == "Bulk"
+        assert isinstance(system.scheme, BulkScheme)
+        # And back: the round trip leaves an exact scheme resident.
+        assert system.swap_scheme("Eager") is True
+        assert system.scheme.name == "Eager"
+
+    def test_unknown_target_raises_the_registry_error(self):
+        with pytest.raises(UnknownSchemeError):
+            small_tm_system().swap_scheme("Optimistic")
+
+    def test_variant_target_is_illegal(self):
+        with pytest.raises(SchemeSwapError, match="variant"):
+            small_tm_system().swap_scheme("Bulk-Partial")
+
+    def test_off_boundary_swap_is_illegal(self):
+        with pytest.raises(SchemeSwapError, match="commit boundaries"):
+            small_tm_system().swap_scheme("Bulk", at_commit_boundary=False)
+
+    def test_smt_configuration_vetoes_every_swap(self):
+        smt = TmParams(num_processors=2, threads_per_core=2)
+        system = small_tm_system(scheme=BulkScheme(), params=smt)
+        with pytest.raises(SchemeSwapError, match="threads_per_core"):
+            system.swap_scheme("Eager")
+        assert system.scheme.name == "Bulk"
+
+    def test_failed_swap_leaves_the_system_runnable(self):
+        system = small_tm_system()
+        with pytest.raises(SchemeSwapError):
+            system.swap_scheme("Bulk-Partial")
+        result = system.run()
+        assert result.stats.commits == 2
+
+
+class TestSwapAccounting:
+    def test_swaps_reconcile_across_metrics_and_trace(self):
+        obs = Observability()
+        run_tm_comparison("mc", txns_per_thread=3, obs=obs, policy=ALWAYS_SWAP)
+        counters = obs.metrics.snapshot()["counters"]
+        events = obs.tracer.summary()["events"]
+        assert counters["scheme.swaps"] == events["scheme.swap"]
+        # Eager and Lazy both swap to Bulk; the Bulk run has nowhere to
+        # go, so exactly two swaps across the comparison.
+        assert counters["scheme.swaps"] == 2
+
+    def test_residency_covers_every_resident_scheme(self):
+        obs = Observability()
+        comparison = run_tm_comparison(
+            "mc", txns_per_thread=3, obs=obs, policy=ALWAYS_SWAP
+        )
+        counters = obs.metrics.snapshot()["counters"]
+        residency = {
+            name.split(".")[-1]: value
+            for name, value in counters.items()
+            if name.startswith("scheme.resident_cycles.")
+        }
+        # The swapped-to scheme accrues the tail residency of the Eager
+        # and Lazy runs plus its own full run.
+        assert residency["Bulk"] > 0
+        assert set(residency) == {"Eager", "Lazy", "Bulk"}
+        assert all(cycles >= 0 for cycles in residency.values())
+        assert comparison.stats["Eager"].commits > 0
+
+    def test_policy_spec_string_attaches_like_the_cli(self):
+        system = small_tm_system(obs=Observability())
+        system.attach_swap_policy(ALWAYS_SWAP)
+        result = system.run()
+        assert result.stats.commits == 2
+        assert system._swap_count in (0, 1)  # window may not fill pre-finish
+
+    def test_variant_runs_are_pinned_static(self):
+        """A parameter variant's overrides were baked into the run's
+        params, so no registry entry is a legal swap target — the
+        policy must not attach, and the comparison must complete."""
+        obs = Observability()
+        comparison = run_tm_comparison(
+            "mc",
+            txns_per_thread=3,
+            include_partial=True,
+            obs=obs,
+            policy=ALWAYS_SWAP,
+        )
+        assert "Bulk-Partial" in comparison.cycles
+        # Eager and Lazy still swap; Bulk and Bulk-Partial never do.
+        assert obs.metrics.snapshot()["counters"]["scheme.swaps"] == 2
+
+    def test_static_spec_attaches_nothing(self):
+        system = small_tm_system()
+        system.attach_swap_policy("static")
+        assert system._swap_policy is None
+        system.attach_swap_policy(None)
+        assert system._swap_policy is None
+
+
+class TestStaticByteIdentity:
+    def test_static_policy_equals_no_policy(self):
+        plain = run_tm_comparison("mc", txns_per_thread=3)
+        static = run_tm_comparison("mc", txns_per_thread=3, policy="static")
+        assert static.cycles == plain.cycles
+        assert static.stats == plain.stats
+
+    def test_adaptive_policy_changes_only_policied_runs(self):
+        plain = run_tm_comparison("mc", txns_per_thread=3)
+        adaptive = run_tm_comparison(
+            "mc", txns_per_thread=3, policy=ALWAYS_SWAP
+        )
+        # The Bulk run never swaps, so it is untouched by the policy.
+        assert adaptive.cycles["Bulk"] == plain.cycles["Bulk"]
+
+
+class TestAdaptiveRunsHoldTheOracles:
+    """Every comparison driver runs its internal differential oracle
+    (TLS validates final memory against the sequential reference; TM
+    checks commit-order serialisability), so completing without error
+    under a swapping policy is the no-lost-conflicts check."""
+
+    def test_tls_adaptive_run_completes_and_swaps(self):
+        obs = Observability()
+        comparison = run_tls_comparison(
+            "vpr", num_tasks=40, obs=obs, policy=ALWAYS_SWAP
+        )
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["scheme.swaps"] >= 1
+        assert counters["scheme.swaps"] == (
+            obs.tracer.summary()["events"]["scheme.swap"]
+        )
+        for scheme in comparison.cycles:
+            assert comparison.speedup(scheme) > 0
+
+    def test_checkpoint_adaptive_run_completes_and_swaps(self):
+        obs = Observability()
+        comparison = run_checkpoint_comparison(
+            "predictor", num_epochs=24, obs=obs, policy=ALWAYS_SWAP
+        )
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["scheme.swaps"] >= 1
+        assert set(comparison.cycles) == {"Exact", "Bulk"}
+
+    def test_tm_contended_adaptive_run_commits_everything(self):
+        obs = Observability()
+        comparison = run_tm_comparison(
+            "cb",
+            txns_per_thread=4,
+            obs=obs,
+            policy="hysteresis:high=0.2,low=0.05,window=4,dwell=1",
+        )
+        plain = run_tm_comparison("cb", txns_per_thread=4)
+        # Committed work is conserved: swaps may squash and replay, but
+        # every transaction still commits exactly once.
+        for scheme in plain.stats:
+            assert (
+                comparison.stats[scheme].commits == plain.stats[scheme].commits
+            )

@@ -1,0 +1,159 @@
+"""Stale-read soundness regressions, pinned from random-search failures.
+
+Each workload below is a concrete counterexample found by brute-force
+differential search (30k random task sets against the sequential
+reference) that crashed or mis-executed a TLS scheme before the
+corresponding fix:
+
+* ``EAGER_WRONG_VERSION_HIT`` — task u stores word w (store-time
+  invalidation fires), an *older* task's later fill legally re-creates
+  the line with an overlay no newer than itself, and a younger task
+  dispatched on that processor then hits the stale copy.  A versioned
+  cache would miss; the fix (``stale_hit_refetches``) makes Eager
+  invalidate and re-fetch instead of consuming the wrong version.
+* ``DIRTY_SPAWN_FLUSH`` — the Partial-Overlap dispatch flush skipped
+  dirty lines, letting a committed task's non-speculative dirty copy
+  that mirrors a parent-prespawn write survive on the child's
+  processor; ``TlsSystem.spawn_flush_line`` now invalidates it (with a
+  writeback charge) when it is value-stale.
+* ``RESPAWN_FLUSH_*`` — after a joint squash, a child re-created
+  through the parent's replayed spawn skipped the spawn flush entirely
+  while co-resident older tasks' replay fills re-created stale copies;
+  the ``on_respawn`` hook re-broadcasts the flush.
+
+Every workload must now run to completion under *all four* schemes,
+commit every task, and leave memory byte-identical to the sequential
+reference — the same oracle the search used.
+"""
+
+import pytest
+
+from repro.sim.trace import compute, load, store
+from repro.tls.bulk import TlsBulkScheme
+from repro.tls.eager import TlsEagerScheme
+from repro.tls.lazy import TlsLazyScheme
+from repro.tls.system import TlsSystem
+from repro.tls.task import TlsTask
+
+# Each entry: (task_id, events, spawn_cursor); events are ("l", addr),
+# ("s", addr, value), or ("c", cycles).
+
+EAGER_WRONG_VERSION_HIT = [
+    (0, [("l", 16656), ("s", 16384, 458), ("s", 16860, 332), ("l", 17336)], 0),
+    (1, [("l", 16588), ("l", 16656), ("l", 16792)], 0),
+    (2, [("s", 16588, 219), ("s", 16792, 115), ("l", 16452), ("l", 16860),
+         ("s", 17200, 421)], 0),
+    (3, [("s", 16928, 198), ("s", 17064, 530), ("s", 16996, 316),
+         ("l", 17336), ("s", 16928, 490), ("s", 17404, 696),
+         ("s", 16384, 509), ("s", 17200, 509)], 1),
+    (4, [("s", 16860, 327), ("l", 16792), ("l", 17132), ("l", 17268),
+         ("c", 61)], 2),
+]
+
+DIRTY_SPAWN_FLUSH = [
+    (0, [("s", 17268, 693), ("l", 16860), ("l", 16792), ("l", 16996),
+         ("l", 16860), ("l", 16860), ("c", 71)], 3),
+    (1, [("s", 17268, 121), ("l", 16452), ("l", 16928), ("s", 16792, 637),
+         ("s", 16792, 651), ("s", 16996, 781), ("l", 16928),
+         ("l", 17064)], 3),
+    (2, [("s", 17200, 613), ("s", 16520, 402), ("s", 16860, 448),
+         ("s", 16452, 752)], 3),
+    (3, [("l", 16928), ("s", 16724, 430), ("c", 18)], 3),
+    (4, [("l", 17200), ("s", 16588, 213), ("s", 17268, 649),
+         ("s", 16384, 819), ("l", 16520), ("c", 55)], 4),
+    (5, [("l", 17200), ("l", 16860), ("l", 16996), ("l", 17268)], 1),
+]
+
+RESPAWN_FLUSH_A = [
+    (0, [("s", 16996, 159), ("s", 16792, 251), ("s", 16860, 653),
+         ("s", 16860, 732), ("l", 17404), ("c", 52)], 6),
+    (1, [("l", 17200), ("l", 16656), ("s", 16724, 902), ("s", 17268, 806),
+         ("c", 94)], 0),
+    (2, [("s", 16928, 674), ("s", 16520, 459), ("l", 16928), ("l", 16996),
+         ("s", 16520, 291), ("s", 17268, 362), ("c", 5)], 5),
+    (3, [("l", 16384), ("l", 16860), ("s", 16656, 834)], 0),
+    (4, [("s", 16996, 813), ("s", 16724, 976), ("l", 16452),
+         ("s", 17200, 30), ("c", 44)], 3),
+    (5, [("s", 17404, 792), ("l", 17268), ("l", 16452), ("l", 16996),
+         ("l", 16384), ("s", 16384, 768)], 2),
+]
+
+RESPAWN_FLUSH_B = [
+    (0, [("l", 16452), ("s", 16588, 75)], 1),
+    (1, [("s", 16996, 159), ("s", 16656, 776), ("s", 16724, 354),
+         ("c", 71)], 2),
+    (2, [("l", 16520), ("s", 16520, 151), ("l", 16452), ("l", 17268),
+         ("s", 17268, 194), ("s", 17268, 768), ("l", 16724), ("c", 64)], 0),
+    (3, [("s", 16520, 28), ("c", 39)], 1),
+    (4, [("s", 17404, 785), ("s", 16520, 282), ("l", 16724),
+         ("s", 16792, 206), ("l", 17404), ("s", 16520, 463),
+         ("s", 16792, 177), ("s", 16860, 406)], 7),
+    (5, [("l", 16520), ("s", 16384, 938), ("s", 17132, 30),
+         ("s", 16520, 485), ("l", 16996), ("l", 16588),
+         ("s", 17132, 821)], 7),
+]
+
+RESPAWN_FLUSH_C = [
+    (0, [("s", 16792, 903), ("s", 16520, 526), ("l", 16724), ("l", 17064),
+         ("l", 17064), ("l", 16860), ("c", 58)], 0),
+    (1, [("l", 16724)], 0),
+    (2, [("s", 16520, 510)], 0),
+    (3, [("s", 17132, 231)], 0),
+    (4, [("s", 16928, 913), ("s", 16384, 425), ("s", 16520, 251),
+         ("s", 16384, 810), ("s", 16724, 511), ("l", 16996), ("l", 16996),
+         ("l", 17064), ("c", 66)], 6),
+    (5, [("l", 16520)], 0),
+]
+
+WORKLOADS = {
+    "eager-wrong-version-hit": EAGER_WRONG_VERSION_HIT,
+    "dirty-spawn-flush": DIRTY_SPAWN_FLUSH,
+    "respawn-flush-a": RESPAWN_FLUSH_A,
+    "respawn-flush-b": RESPAWN_FLUSH_B,
+    "respawn-flush-c": RESPAWN_FLUSH_C,
+}
+
+SCHEMES = {
+    "Eager": TlsEagerScheme,
+    "Lazy": TlsLazyScheme,
+    "BulkPO": lambda: TlsBulkScheme(True),
+    "BulkNO": lambda: TlsBulkScheme(False),
+}
+
+
+def build_tasks(rows):
+    tasks = []
+    for task_id, events, spawn_cursor in rows:
+        built = []
+        for event in events:
+            if event[0] == "l":
+                built.append(load(event[1]))
+            elif event[0] == "s":
+                built.append(store(event[1], event[2]))
+            else:
+                built.append(compute(event[1]))
+        tasks.append(TlsTask(task_id, built, spawn_cursor=spawn_cursor))
+    return tasks
+
+
+def sequential_reference(rows):
+    memory = {}
+    for _, events, _ in rows:
+        for event in events:
+            if event[0] == "s":
+                memory[event[1] >> 2] = event[2]
+    return {word: value for word, value in memory.items() if value != 0}
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_pinned_counterexample_matches_sequential(workload_name, scheme_name):
+    rows = WORKLOADS[workload_name]
+    result = TlsSystem(build_tasks(rows), SCHEMES[scheme_name]()).run()
+    assert result.stats.committed_tasks == len(rows)
+    observed = {
+        word: value
+        for word, value in result.memory.snapshot().items()
+        if value != 0
+    }
+    assert observed == sequential_reference(rows)

@@ -226,3 +226,86 @@ class TestWriterGuards:
             writer.add(["l", 4 * i])
         writer.abort()
         assert list(store.chunks_root.iterdir()) == []
+
+
+class TestVerifyCorruption:
+    """``verify()`` pinpoints the damaged chunk, and damage to one trace
+    never makes the rest of the store unreadable."""
+
+    def _store_with_two_traces(self, tmp_path):
+        store = TraceStore(tmp_path)
+        victim = ingest_rows(store, tm_rows(), chunk_bytes=512)
+        assert victim.num_chunks >= 2, "need a multi-chunk victim"
+        healthy = ingest_rows(
+            store, tm_rows(threads=2, events_per_thread=7), label="healthy"
+        )
+        return store, victim, healthy
+
+    @staticmethod
+    def _first_chunk(store, trace_id):
+        return min((store.chunks_root / trace_id).glob("*.z"))
+
+    def _assert_rest_of_store_readable(self, store, healthy):
+        assert store.reader(healthy.trace_id).verify() == healthy.trace_id
+        assert {info.trace_id for info in store.traces()} >= {
+            healthy.trace_id
+        }
+
+    def test_flipped_byte_names_the_chunk(self, tmp_path):
+        store, victim, healthy = self._store_with_two_traces(tmp_path)
+        chunk = self._first_chunk(store, victim.trace_id)
+        raw = bytearray(chunk.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        chunk.write_bytes(bytes(raw))
+        with pytest.raises(TraceError, match=chunk.name):
+            store.reader(victim.trace_id).verify()
+        self._assert_rest_of_store_readable(store, healthy)
+
+    def test_truncated_chunk_names_the_chunk(self, tmp_path):
+        store, victim, healthy = self._store_with_two_traces(tmp_path)
+        chunk = self._first_chunk(store, victim.trace_id)
+        raw = chunk.read_bytes()
+        chunk.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(TraceError, match=chunk.name):
+            store.reader(victim.trace_id).verify()
+        self._assert_rest_of_store_readable(store, healthy)
+
+    def test_truncation_behind_a_tampered_index_still_fails_cleanly(
+        self, tmp_path
+    ):
+        """Even if the index's SHA-256 is doctored to match the truncated
+        bytes, the undecompressable chunk surfaces as a TraceError naming
+        the chunk — never a raw zlib exception."""
+        import hashlib
+        import sqlite3
+
+        store, victim, healthy = self._store_with_two_traces(tmp_path)
+        chunk = self._first_chunk(store, victim.trace_id)
+        truncated = chunk.read_bytes()[:-8]
+        chunk.write_bytes(truncated)
+        with sqlite3.connect(store.index_path) as connection:
+            connection.execute(
+                "UPDATE chunks SET sha256 = ? "
+                "WHERE trace_id = ? AND filename = ?",
+                (
+                    hashlib.sha256(truncated).hexdigest(),
+                    victim.trace_id,
+                    chunk.name,
+                ),
+            )
+        with pytest.raises(TraceError, match=chunk.name):
+            store.reader(victim.trace_id).verify()
+        self._assert_rest_of_store_readable(store, healthy)
+
+    def test_missing_chunk_row_is_reported(self, tmp_path):
+        import sqlite3
+
+        store, victim, healthy = self._store_with_two_traces(tmp_path)
+        with sqlite3.connect(store.index_path) as connection:
+            connection.execute(
+                "DELETE FROM chunks WHERE trace_id = ? AND seq = 0",
+                (victim.trace_id,),
+            )
+        with pytest.raises(TraceError, match="chunks"):
+            store.reader(victim.trace_id)
+        self._assert_rest_of_store_readable(store, healthy)
