@@ -832,6 +832,145 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation job service (HTTP front end + worker tier)."""
+    from repro.errors import ServiceError
+    from repro.service import run_service
+
+    try:
+        run_service(
+            args.store,
+            cache_dir=args.cache_dir,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            executor=args.executor,
+            quiet=args.quiet,
+        )
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a grid-job spec to a running service."""
+    import json as json_module
+
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    try:
+        if args.spec_file == "-":
+            spec = json_module.load(sys.stdin)
+        else:
+            with open(args.spec_file, "r", encoding="utf-8") as stream:
+                spec = json_module.load(stream)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read spec: {error}", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(args.url)
+    try:
+        view = client.submit(spec)
+        job_id = view["job_id"]
+        print(f"submitted {job_id} "
+              f"({view['progress']['total']} point(s), "
+              f"status: {view['status']})")
+        if not (args.wait or args.out):
+            return 0
+        on_event = (
+            (lambda line: print(f"  {line}")) if args.show_events else None
+        )
+        view = client.wait(
+            job_id, timeout=args.timeout, on_event=on_event
+        )
+        status = view["status"]
+        print(f"{job_id}: {status}")
+        for warning in view.get("failure_log_warnings", []):
+            print(f"warning: {warning}", file=sys.stderr)
+        if status != "done":
+            if view.get("error"):
+                print(f"error: {view['error']}", file=sys.stderr)
+            return 2
+        if args.out:
+            body = client.result_bytes(job_id)
+            with open(args.out, "wb") as stream:
+                stream.write(body)
+            print(f"result written to {args.out} ({len(body)} bytes)")
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """List service jobs, or inspect / cancel one."""
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_id is None:
+            if args.cancel:
+                print("error: --cancel needs a job id", file=sys.stderr)
+                return 2
+            jobs = client.jobs()
+            if not jobs:
+                print(f"no jobs at {args.url}")
+                return 0
+            rows = [
+                [job["job_id"], job["status"], job["label"],
+                 f"{job['points_done']}/{job['points_total']}",
+                 job["spec_hash"][:12]]
+                for job in jobs
+            ]
+            print(
+                render_table(
+                    ["Job", "Status", "Label", "Done", "Spec"],
+                    rows,
+                    title=f"Jobs at {args.url}",
+                )
+            )
+            return 0
+        view = (
+            client.cancel(args.job_id) if args.cancel
+            else client.job(args.job_id)
+        )
+        print(f"job:    {view['job_id']}")
+        print(f"status: {view['status']}"
+              + (" (cancel requested)" if view["cancel_requested"] else ""))
+        if view["label"]:
+            print(f"label:  {view['label']}")
+        if view["error"]:
+            print(f"error:  {view['error']}")
+        progress = view["progress"]
+        print(
+            f"points: {progress['done']}/{progress['total']} done "
+            f"({progress['computed']} computed, {progress['cached']} cached, "
+            f"{progress['deduped']} deduped, {progress['failed']} failed)"
+        )
+        for point in view["points"]:
+            marker = point["outcome"] or point["status"]
+            line = f"  {point['key']}: {marker}"
+            if point["error"]:
+                line += f" ({point['error']})"
+            print(line)
+        for entry in view["failure_log"]:
+            print(f"failure log: {entry['key']} attempt {entry['attempt']}: "
+                  f"{entry['error']}")
+        for warning in view["failure_log_warnings"]:
+            print(f"warning: {warning}", file=sys.stderr)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -981,6 +1120,58 @@ def build_parser() -> argparse.ArgumentParser:
     trace_info.add_argument("--verify", action="store_true",
                             help="re-hash the content against the id")
     trace_info.set_defaults(func=_cmd_trace_info)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation job service (HTTP + worker pool)",
+    )
+    serve.add_argument("--store", required=True, metavar="DIR",
+                       help="service state directory (SQLite job store; "
+                       "the shared result cache defaults to DIR/cache)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared result-cache directory "
+                       "(default: <store>/cache)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8742,
+                       help="listen port (0 picks an ephemeral one)")
+    serve.add_argument("--workers", type=_positive_int, default=None,
+                       help="worker threads (default: one per usable CPU)")
+    serve.add_argument("--executor", choices=("thread", "process"),
+                       default="process",
+                       help="how workers execute points (default: process)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the startup banner and access log")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a grid-job spec to a running service"
+    )
+    submit.add_argument("spec_file",
+                        help="JSON job spec ('-' reads standard input)")
+    submit.add_argument("--url", default="http://127.0.0.1:8742",
+                        help="service base URL")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job reaches a terminal state")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="give up waiting after this many seconds")
+    submit.add_argument("--out", default=None, metavar="PATH",
+                        help="download the merged result here (implies "
+                        "--wait; byte-identical to a direct GridRunner run)")
+    submit.add_argument("--show-events", action="store_true",
+                        help="stream the job's progress events while "
+                        "waiting")
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list service jobs, or inspect/cancel one"
+    )
+    jobs.add_argument("job_id", nargs="?", default=None,
+                      help="show this job instead of listing all")
+    jobs.add_argument("--url", default="http://127.0.0.1:8742",
+                      help="service base URL")
+    jobs.add_argument("--cancel", action="store_true",
+                      help="request cancellation of the given job")
+    jobs.set_defaults(func=_cmd_jobs)
 
     reproduce = sub.add_parser(
         "reproduce",

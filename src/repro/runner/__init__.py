@@ -12,7 +12,12 @@ result cache keyed by parameters *and* simulator code — see
 >>> merged = runner.run([tm_point("mc"), tm_point("cb")])  # doctest: +SKIP
 """
 
-from repro.runner.cache import CACHE_SCHEMA_VERSION, ResultCache, code_fingerprint
+from repro.runner.cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CLAIM_TTL,
+    ResultCache,
+    code_fingerprint,
+)
 from repro.runner.grid import (
     FailureRecord,
     GridExecutionError,
@@ -35,6 +40,7 @@ from repro.runner.serialize import (
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CLAIM_TTL",
     "FailureRecord",
     "GridExecutionError",
     "GridPoint",

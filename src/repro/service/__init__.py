@@ -1,0 +1,75 @@
+"""Simulation-as-a-service: an async job service over the grid runner.
+
+This package turns the existing :class:`~repro.runner.GridRunner`
+machinery into the worker tier of a long-running service:
+
+- :mod:`repro.service.spec` — the job-spec wire format and its strict
+  validation (:class:`JobSpec`, :func:`parse_job_spec`);
+- :mod:`repro.service.store` — the SQLite :class:`JobStore` persisting
+  specs, the ``queued -> running -> done/failed/cancelled`` lifecycle,
+  per-point progress, and the append-only event stream;
+- :mod:`repro.service.dispatcher` — the :class:`Dispatcher` sharding
+  grid points across a worker pool through one shared content-addressed
+  :class:`~repro.runner.ResultCache`, and the :class:`JobService`
+  facade;
+- :mod:`repro.service.server` — the stdlib HTTP front end;
+- :mod:`repro.service.client` — the matching stdlib HTTP client.
+
+The headline invariants (``docs/SERVICE.md`` proves them out):
+
+1. a grid submitted through the service yields a result byte-identical
+   to the same grid run directly through ``GridRunner``;
+2. two clients submitting the same grid concurrently cost **one**
+   simulation — overlapping points dedupe through the shared cache's
+   in-flight claims, point by point.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.dispatcher import EXECUTOR_KINDS, Dispatcher, JobService
+from repro.service.server import (
+    ServiceHTTPServer,
+    create_server,
+    run_service,
+    serve_forever_in_thread,
+)
+from repro.service.spec import (
+    MAX_POINTS_PER_JOB,
+    POINT_KINDS,
+    JobSpec,
+    parse_job_spec,
+    points_to_spec,
+)
+from repro.service.store import (
+    JOB_STATUSES,
+    POINT_OUTCOMES,
+    POINT_STATUSES,
+    SERVICE_SCHEMA_VERSION,
+    TERMINAL_JOB_STATUSES,
+    JobRecord,
+    JobStore,
+    PointRecord,
+)
+
+__all__ = [
+    "Dispatcher",
+    "EXECUTOR_KINDS",
+    "JOB_STATUSES",
+    "JobRecord",
+    "JobService",
+    "JobSpec",
+    "JobStore",
+    "MAX_POINTS_PER_JOB",
+    "POINT_KINDS",
+    "POINT_OUTCOMES",
+    "POINT_STATUSES",
+    "PointRecord",
+    "SERVICE_SCHEMA_VERSION",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "TERMINAL_JOB_STATUSES",
+    "create_server",
+    "parse_job_spec",
+    "points_to_spec",
+    "run_service",
+    "serve_forever_in_thread",
+]

@@ -1,0 +1,167 @@
+"""A stdlib HTTP client for the job service.
+
+Used by the ``repro submit`` / ``repro jobs`` CLI commands, the tests,
+and the CI smoke job.  Built on :mod:`urllib.request` only.
+
+The client mirrors the server's typed errors: a 400 re-raises
+:class:`~repro.errors.JobSpecError`, a 404
+:class:`~repro.errors.UnknownJobError`, a 409
+:class:`~repro.errors.JobStateError`, anything else
+:class:`~repro.errors.ServiceError` — each carrying the server's own
+message, so callers see the same text whether the spec was rejected
+locally or across the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import (
+    JobSpecError,
+    JobStateError,
+    ServiceError,
+    UnknownJobError,
+)
+
+#: Job states the service never leaves.
+TERMINAL_STATUSES = frozenset({"done", "failed", "cancelled"})
+
+
+def _raise_for(status: int, message: str, job_id: str = "") -> None:
+    if status == 400:
+        raise JobSpecError(message)
+    if status == 404 and job_id:
+        error = UnknownJobError(job_id)
+        if message:
+            error.args = (message,)
+        raise error
+    if status == 409:
+        raise JobStateError(job_id, "", message)
+    raise ServiceError(f"service answered {status}: {message}")
+
+
+class ServiceClient:
+    """Talk to one running service at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        job_id: str = "",
+    ) -> bytes:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                message = json.loads(raw.decode("utf-8"))["error"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace").strip()
+            _raise_for(error.code, message, job_id)
+            raise AssertionError("unreachable")  # pragma: no cover
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}"
+            )
+
+    def _request_json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        job_id: str = "",
+    ) -> Any:
+        return json.loads(self._request(method, path, body, job_id))
+
+    # -- API ------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request_json("GET", "/health")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request_json("GET", "/metrics")
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /jobs``: returns the new job's view."""
+        return self._request_json("POST", "/jobs", body=spec)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request_json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request_json("GET", f"/jobs/{job_id}", job_id=job_id)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request_json(
+            "DELETE", f"/jobs/{job_id}", job_id=job_id
+        )
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The merged result exactly as stored (byte-compare safe)."""
+        return self._request("GET", f"/jobs/{job_id}/result", job_id=job_id)
+
+    def events(self, job_id: str, since: int = 0) -> List[str]:
+        body = self._request(
+            "GET", f"/jobs/{job_id}/events?since={since}", job_id=job_id
+        )
+        return [
+            line for line in body.decode("utf-8").split("\n") if line
+        ]
+
+    def wait(
+        self,
+        job_id: str,
+        poll_interval: float = 0.2,
+        timeout: Optional[float] = None,
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final view.
+
+        ``on_event`` receives each new event JSON line as the client
+        first observes it (the CLI's live progress display).
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        seen = 0
+        while True:
+            if on_event is not None:
+                for line in self.events(job_id, since=seen):
+                    seen += 1
+                    on_event(line)
+            view = self.job(job_id)
+            if view["status"] in TERMINAL_STATUSES:
+                if on_event is not None:
+                    for line in self.events(job_id, since=seen):
+                        seen += 1
+                        on_event(line)
+                return view
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} "
+                    f"(still {view['status']} after {timeout:g}s)"
+                )
+            time.sleep(poll_interval)

@@ -1,0 +1,266 @@
+"""The HTTP front end: a stdlib server over the job service.
+
+No framework, no new dependencies — a
+:class:`http.server.ThreadingHTTPServer` whose handler threads call
+straight into a shared :class:`~repro.service.dispatcher.JobService`.
+
+Routes (all JSON; see ``docs/SERVICE.md`` for the full reference)::
+
+    GET    /health              liveness probe
+    GET    /metrics             service.* and cache.* counters
+    POST   /jobs                submit a job spec       -> 201 + job view
+    GET    /jobs                list jobs
+    GET    /jobs/{id}           status + progress + failure view
+    GET    /jobs/{id}/result    merged result, byte-exact
+    GET    /jobs/{id}/events    progress stream (JSONL; ``?since=N``)
+    DELETE /jobs/{id}           request cancellation    -> job view
+
+Errors map from the typed service family:
+:class:`~repro.errors.JobSpecError` -> 400,
+:class:`~repro.errors.UnknownJobError` -> 404,
+:class:`~repro.errors.JobStateError` -> 409, any other
+:class:`~repro.errors.ServiceError` -> 500; the body is always
+``{"error": message}`` so the client can re-raise the same text.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import (
+    JobSpecError,
+    JobStateError,
+    ServiceError,
+    UnknownJobError,
+)
+from repro.runner import canonical_json
+from repro.service.dispatcher import JobService
+
+#: Largest request body the server will read (a 4096-point spec is well
+#: under this; anything larger is a client bug or abuse).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _error_status(error: ServiceError) -> int:
+    if isinstance(error, JobSpecError):
+        return 400
+    if isinstance(error, UnknownJobError):
+        return 404
+    if isinstance(error, JobStateError):
+        return 409
+    return 500
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`JobService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: JobService,
+        quiet: bool = True,
+    ) -> None:
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _ServiceHandler)
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # Advertise a protocol that allows keep-alive; clients polling
+    # /jobs/{id} reuse their connection instead of re-handshaking.
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_body(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, document: Any) -> None:
+        self._send_body(
+            status,
+            (canonical_json(document) + "\n").encode("utf-8"),
+            "application/json",
+        )
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise JobSpecError("request body is empty")
+        if length > MAX_BODY_BYTES:
+            raise JobSpecError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise JobSpecError(f"request body is not valid JSON: {error}")
+
+    def _dispatch(self, method: str) -> None:
+        self.server.service.metrics.counter("service.http_requests").inc()
+        try:
+            self._route(method)
+        except ServiceError as error:
+            self._send_error_json(_error_status(error), str(error))
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as error:  # noqa: BLE001 - never kill the thread
+            self.server.service.metrics.counter(
+                "service.http_errors"
+            ).inc()
+            self._send_error_json(
+                500, f"internal error: {type(error).__name__}: {error}"
+            )
+
+    # -- routing --------------------------------------------------------
+
+    def _route(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        service = self.server.service
+
+        if method == "GET" and parts == ["health"]:
+            self._send_json(200, {"status": "ok"})
+            return
+        if method == "GET" and parts == ["metrics"]:
+            self._send_json(200, service.metrics_snapshot())
+            return
+        if parts[:1] != ["jobs"]:
+            self._send_error_json(404, f"no route for {parsed.path}")
+            return
+
+        if len(parts) == 1:
+            if method == "POST":
+                self._send_json(201, service.submit(self._read_json_body()))
+            elif method == "GET":
+                self._send_json(200, {"jobs": service.jobs_view()})
+            else:
+                self._send_error_json(405, f"{method} not allowed on /jobs")
+            return
+
+        job_id = parts[1]
+        tail = parts[2:]
+        if not tail:
+            if method == "GET":
+                self._send_json(200, service.job_view(job_id))
+            elif method == "DELETE":
+                self._send_json(200, service.cancel(job_id))
+            else:
+                self._send_error_json(
+                    405, f"{method} not allowed on /jobs/{{id}}"
+                )
+            return
+        if tail == ["result"] and method == "GET":
+            # Byte-exact: the stored canonical JSON, no re-encode.
+            self._send_body(
+                200, service.result_bytes(job_id), "application/json"
+            )
+            return
+        if tail == ["events"] and method == "GET":
+            since = 0
+            query = parse_qs(parsed.query)
+            if "since" in query:
+                try:
+                    since = int(query["since"][-1])
+                except ValueError:
+                    raise JobSpecError("'since' must be an integer")
+            lines = service.events_lines(job_id, since)
+            body = "".join(line + "\n" for line in lines).encode("utf-8")
+            self._send_body(200, body, "application/x-ndjson")
+            return
+        self._send_error_json(404, f"no route for {parsed.path}")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+def create_server(
+    service: JobService, host: str = "127.0.0.1", port: int = 0,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind (but do not start serving) a server over ``service``.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` — which is what the tests and the CI smoke
+    job use to avoid collisions.
+    """
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve_forever_in_thread(
+    server: ServiceHTTPServer,
+) -> threading.Thread:
+    """Run ``server.serve_forever`` on a daemon thread (test helper)."""
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name="service-http",
+        daemon=True,
+    )
+    thread.start()
+    return thread
+
+
+def run_service(
+    store_dir: str,
+    cache_dir: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: int = 8742,
+    workers: Optional[int] = None,
+    executor: str = "process",
+    quiet: bool = False,
+    ready: Optional[threading.Event] = None,
+) -> None:
+    """Start a service and serve HTTP until interrupted (the CLI path)."""
+    service = JobService(
+        store_dir, cache_dir=cache_dir, workers=workers, executor=executor
+    )
+    service.start()
+    server = create_server(service, host=host, port=port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    if not quiet:
+        print(
+            f"repro service listening on http://{bound_host}:{bound_port} "
+            f"(store: {service.store.directory}, "
+            f"cache: {service.cache.directory}, "
+            f"workers: {service.dispatcher.workers}, "
+            f"executor: {service.dispatcher.executor})",
+            flush=True,
+        )
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()

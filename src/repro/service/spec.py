@@ -1,0 +1,185 @@
+"""Grid-job specifications: the service's wire format for a sweep.
+
+A job spec is the JSON body of ``POST /jobs``::
+
+    {
+      "label": "tm+tls sweep",            # optional, free text
+      "retries": 1,                       # optional, per-point re-tries
+      "timeout_seconds": 600,             # optional wall-clock budget
+      "allow_failures": false,            # optional, GridRunner semantics
+      "points": [
+        {"kind": "tm",  "app": "mc",   "seed": 42,
+         "knobs": {"txns_per_thread": 3}},
+        {"kind": "tls", "app": "gzip", "knobs": {"num_tasks": 16}}
+      ]
+    }
+
+Parsing reduces each entry to the *same* :class:`~repro.runner.GridPoint`
+a direct :class:`~repro.runner.GridRunner` call would build, so a job's
+points carry the same canonical keys, the same cache keys, and therefore
+the same byte-identical results as a local run.  Validation is strict
+and happens before any simulation work: a malformed spec raises
+:class:`~repro.errors.JobSpecError`, which the HTTP layer answers with
+400 and the message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import JobSpecError
+from repro.runner import GridPoint, canonical_json
+
+#: Grid-point kinds the worker tier can execute (mirrors GridPoint).
+POINT_KINDS = ("tm", "tls", "checkpoint")
+
+#: Hard ceiling on points per job: one submission must not be able to
+#: wedge the whole service behind a million-point sweep.
+MAX_POINTS_PER_JOB = 4096
+
+#: Knob values must round-trip JSON exactly; these are the types that do.
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated grid-job specification."""
+
+    points: Tuple[GridPoint, ...]
+    label: str = ""
+    retries: int = 1
+    timeout_seconds: Optional[float] = None
+    allow_failures: bool = False
+    #: Parsed-from / serialises-to this canonical dictionary.
+    raw: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The canonical JSON-able form (stable across round trips)."""
+        return {
+            "allow_failures": self.allow_failures,
+            "label": self.label,
+            "points": [point.payload() for point in self.points],
+            "retries": self.retries,
+            "timeout_seconds": self.timeout_seconds,
+        }
+
+    def spec_hash(self) -> str:
+        """SHA-256 over the canonical *points* of the spec.
+
+        Two specs naming the same grid hash identically regardless of
+        label, retries, or timeout — those knobs change how a job runs,
+        not what it computes — which is what makes the hash useful as a
+        human-visible "same sweep" marker in job ids and listings.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            canonical_json([point.payload() for point in self.points]).encode()
+        )
+        return digest.hexdigest()
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise JobSpecError(message)
+
+
+def _parse_point(index: int, data: Any) -> GridPoint:
+    where = f"points[{index}]"
+    _require(isinstance(data, dict), f"{where}: must be an object")
+    unknown = set(data) - {"kind", "app", "seed", "knobs"}
+    _require(not unknown,
+             f"{where}: unknown field(s) {', '.join(sorted(unknown))}")
+    kind = data.get("kind")
+    _require(kind in POINT_KINDS,
+             f"{where}: kind must be one of {', '.join(POINT_KINDS)}")
+    app = data.get("app")
+    _require(isinstance(app, str) and app != "",
+             f"{where}: app must be a non-empty string")
+    seed = data.get("seed", 42)
+    _require(isinstance(seed, int) and not isinstance(seed, bool),
+             f"{where}: seed must be an integer")
+    knobs = data.get("knobs", {})
+    _require(isinstance(knobs, dict), f"{where}: knobs must be an object")
+    for name, value in knobs.items():
+        _require(isinstance(name, str) and name != "",
+                 f"{where}: knob names must be non-empty strings")
+        _require(
+            value is None or isinstance(value, _SCALAR_TYPES),
+            f"{where}: knob {name!r} must be a JSON scalar "
+            f"(got {type(value).__name__})",
+        )
+    return GridPoint(kind, app, seed, tuple(sorted(knobs.items())))
+
+
+def parse_job_spec(data: Any) -> JobSpec:
+    """Validate a decoded JSON body into a :class:`JobSpec`.
+
+    Duplicate points (same canonical key) are rejected rather than
+    de-duplicated silently: a spec that names one cell twice is almost
+    certainly a caller bug, and :class:`~repro.runner.GridRunner` would
+    refuse the same grid.
+    """
+    _require(isinstance(data, dict), "job spec must be a JSON object")
+    unknown = set(data) - {
+        "points", "label", "retries", "timeout_seconds", "allow_failures",
+    }
+    _require(not unknown,
+             f"unknown job spec field(s): {', '.join(sorted(unknown))}")
+    raw_points = data.get("points")
+    _require(isinstance(raw_points, list) and raw_points,
+             "job spec needs a non-empty 'points' array")
+    _require(
+        len(raw_points) <= MAX_POINTS_PER_JOB,
+        f"job spec has {len(raw_points)} points; "
+        f"the per-job limit is {MAX_POINTS_PER_JOB}",
+    )
+    points = [_parse_point(i, entry) for i, entry in enumerate(raw_points)]
+    seen: Dict[str, int] = {}
+    for index, point in enumerate(points):
+        first = seen.setdefault(point.key, index)
+        _require(
+            first == index,
+            f"points[{index}] duplicates points[{first}] "
+            f"(key {point.key!r})",
+        )
+
+    label = data.get("label", "")
+    _require(isinstance(label, str), "label must be a string")
+    retries = data.get("retries", 1)
+    _require(
+        isinstance(retries, int) and not isinstance(retries, bool)
+        and retries >= 0,
+        "retries must be an integer >= 0",
+    )
+    timeout = data.get("timeout_seconds")
+    if timeout is not None:
+        _require(
+            isinstance(timeout, (int, float)) and not isinstance(timeout, bool)
+            and timeout > 0,
+            "timeout_seconds must be a positive number",
+        )
+        timeout = float(timeout)
+    allow_failures = data.get("allow_failures", False)
+    _require(isinstance(allow_failures, bool),
+             "allow_failures must be a boolean")
+    return JobSpec(
+        points=tuple(points),
+        label=label,
+        retries=retries,
+        timeout_seconds=timeout,
+        allow_failures=allow_failures,
+        raw=dict(data),
+    )
+
+
+def points_to_spec(
+    points: "List[GridPoint] | Tuple[GridPoint, ...]", **options: Any
+) -> Dict[str, Any]:
+    """The spec dictionary naming ``points`` (client-side helper)."""
+    spec: Dict[str, Any] = {
+        "points": [point.payload() for point in points],
+    }
+    spec.update(options)
+    return spec

@@ -170,3 +170,63 @@ class TestFailureLog:
 
     def test_reader_on_an_empty_directory(self, tmp_path):
         assert load_failure_records(tmp_path) == []
+
+
+class TestFailureLogWarnings:
+    """Malformed log content is reported with file:line, never silently
+    skipped — a corrupted failure log hiding real failure history is
+    itself a failure worth surfacing."""
+
+    def test_malformed_interior_line_warns_with_file_and_line(
+        self, tmp_path
+    ):
+        path = tmp_path / "failures.jsonl"
+        good = ('{"key": "k", "attempt": 1, "error": "E: x",'
+                ' "traceback": "tb"}')
+        path.write_text(f"{good}\n{{torn json\n{good}\n")
+        seen = []
+        records = load_failure_records(tmp_path, warn=seen.append)
+        assert len(records) == 2
+        assert len(seen) == 1
+        assert seen[0].startswith(f"{path}:2: malformed failure record")
+
+    def test_wrong_shape_line_warns(self, tmp_path):
+        (tmp_path / "failures.jsonl").write_text('["not", "a", "dict"]\n')
+        seen = []
+        assert load_failure_records(tmp_path, warn=seen.append) == []
+        assert len(seen) == 1
+        assert "not a failure record" in seen[0]
+
+    def test_torn_tail_stays_silent(self, tmp_path):
+        """An unterminated final line is normal crash residue of a
+        killed writer, not corruption worth warning about."""
+        (tmp_path / "failures.jsonl").write_text('{"key": "half')
+        seen = []
+        assert load_failure_records(tmp_path, warn=seen.append) == []
+        assert seen == []
+
+    def test_legacy_non_record_entry_warns(self, tmp_path):
+        (tmp_path / "failures.json").write_text(
+            '[{"key": "k", "attempt": 1, "error": "E", "traceback": ""},'
+            ' "not-a-record"]'
+        )
+        seen = []
+        records = load_failure_records(tmp_path, warn=seen.append)
+        assert len(records) == 1
+        assert len(seen) == 1
+        assert "entry 2 is not a failure record" in seen[0]
+
+    def test_corrupt_legacy_file_warns(self, tmp_path):
+        (tmp_path / "failures.json").write_text("{torn")
+        seen = []
+        assert load_failure_records(tmp_path, warn=seen.append) == []
+        assert len(seen) == 1
+        assert "malformed legacy failure log" in seen[0]
+
+    def test_default_warn_goes_through_the_warnings_module(
+        self, tmp_path, recwarn
+    ):
+        (tmp_path / "failures.jsonl").write_text("{torn\n")
+        load_failure_records(tmp_path)
+        assert len(recwarn) == 1
+        assert "malformed failure record" in str(recwarn[0].message)

@@ -76,6 +76,35 @@ class TestSubmissionOrder:
         assert [p.key for p in ordered] == sorted(p.key for p in points)
 
 
+class TestDefaultJobs:
+    def test_affinity_mask_wins_over_host_cpu_count(self, monkeypatch):
+        """A pinned process must size its pool by its affinity mask, not
+        the host's core count (containers routinely pin far fewer)."""
+        monkeypatch.setattr(
+            grid_module.os, "sched_getaffinity", lambda pid: {0, 1, 2},
+            raising=False,
+        )
+        monkeypatch.setattr(grid_module.os, "cpu_count", lambda: 64)
+        assert grid_module.default_jobs() == 3
+
+    def test_empty_affinity_set_falls_back_to_one(self, monkeypatch):
+        monkeypatch.setattr(
+            grid_module.os, "sched_getaffinity", lambda pid: set(),
+            raising=False,
+        )
+        monkeypatch.setattr(grid_module.os, "cpu_count", lambda: 64)
+        assert grid_module.default_jobs() == 1
+
+    def test_cpu_count_is_the_fallback_without_affinity_support(
+        self, monkeypatch
+    ):
+        monkeypatch.delattr(
+            grid_module.os, "sched_getaffinity", raising=False
+        )
+        monkeypatch.setattr(grid_module.os, "cpu_count", lambda: 5)
+        assert grid_module.default_jobs() == 5
+
+
 class TestSerializationTolerance:
     """Enum skew between builds must degrade to zeros, never KeyError."""
 

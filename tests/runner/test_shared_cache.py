@@ -1,0 +1,195 @@
+"""Two GridRunners sharing one ResultCache directory concurrently.
+
+The contract (the job service's worker tier relies on it too): N
+runners sweeping the same grid against one ``cache_dir`` in shared mode
+compute every point **exactly once** between them — in-flight points are
+claimed, concurrent runners await the claim instead of recomputing —
+and every runner's merged output is byte-identical to a solo run.
+"""
+
+import threading
+import time
+
+import pytest
+
+import repro.runner.grid as grid_module
+from repro.runner import GridRunner, ResultCache, tls_point, tm_point
+
+POINTS = [
+    tm_point("mc", txns_per_thread=2),
+    tm_point("cb", txns_per_thread=2),
+    tls_point("gzip", num_tasks=4),
+    tls_point("bzip2", num_tasks=4),
+]
+
+
+class CountingExecute:
+    """Deterministic fake simulation that tallies executions per key."""
+
+    def __init__(self, delay=0.05):
+        self.delay = delay
+        self.calls = []
+        self.lock = threading.Lock()
+
+    def __call__(self, payload):
+        with self.lock:
+            self.calls.append(payload["app"])
+        time.sleep(self.delay)
+        return {"echo": dict(payload)}
+
+
+def counter_value(runner, name):
+    return (
+        runner.cache_metrics.snapshot()["counters"].get(name, 0)
+        if runner.cache_metrics is not None
+        else 0
+    )
+
+
+class TestSharedMode:
+    def test_shared_requires_a_cache_dir(self):
+        with pytest.raises(ValueError, match="requires a cache_dir"):
+            GridRunner(jobs=1, shared=True)
+
+    def test_two_concurrent_runners_compute_each_point_exactly_once(
+        self, tmp_path, monkeypatch
+    ):
+        counting = CountingExecute()
+        monkeypatch.setattr(grid_module, "_execute_point", counting)
+        barrier = threading.Barrier(2)
+        results = {}
+        errors = []
+
+        def sweep(name):
+            runner = GridRunner(
+                jobs=1, cache_dir=tmp_path, shared=True,
+                poll_interval=0.005,
+            )
+            barrier.wait()
+            try:
+                results[name] = (runner, runner.run(POINTS))
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=sweep, args=(name,))
+            for name in ("left", "right")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        # Exactly once: 4 points, 4 executions across both runners.
+        assert sorted(counting.calls) == sorted(
+            point.app for point in POINTS
+        )
+
+        (left_runner, left), (right_runner, right) = (
+            results["left"], results["right"]
+        )
+        assert left.to_json() == right.to_json()
+        assert set(left.results) == {point.key for point in POINTS}
+
+        # Dedupe accounting: every point was computed by exactly one
+        # side; the other side saw it as a dedupe (await on the claim)
+        # or a cache hit (published before its initial lookup).
+        computed = sum(
+            counter_value(runner, "cache.points_computed")
+            for runner in (left_runner, right_runner)
+        )
+        deduped = sum(
+            counter_value(runner, "cache.points_deduped")
+            for runner in (left_runner, right_runner)
+        )
+        cached = len(left.cached_keys) + len(right.cached_keys)
+        assert computed == len(POINTS)
+        assert computed + deduped + cached == 2 * len(POINTS)
+        assert deduped == len(left.deduped_keys) + len(right.deduped_keys)
+
+        # No claim files survive a completed sweep.
+        assert list(tmp_path.glob("*.claim")) == []
+
+    def test_solo_shared_run_matches_unshared_byte_for_byte(
+        self, tmp_path, monkeypatch
+    ):
+        counting = CountingExecute(delay=0)
+        monkeypatch.setattr(grid_module, "_execute_point", counting)
+        shared = GridRunner(
+            jobs=1, cache_dir=tmp_path / "a", shared=True
+        ).run(POINTS)
+        plain = GridRunner(jobs=1, cache_dir=tmp_path / "b").run(POINTS)
+        assert shared.to_json() == plain.to_json()
+
+    def test_stale_claim_is_broken_and_the_point_computed(
+        self, tmp_path, monkeypatch
+    ):
+        counting = CountingExecute(delay=0)
+        monkeypatch.setattr(grid_module, "_execute_point", counting)
+        point = POINTS[0]
+        cache = ResultCache(tmp_path)
+        runner = GridRunner(
+            jobs=1, cache_dir=tmp_path, shared=True,
+            poll_interval=0.005, claim_ttl=0.01,
+        )
+        key = cache.key_for(point.payload())
+        assert cache.try_claim(key)  # a dead runner's leftover
+        time.sleep(0.05)
+        result = runner.run([point])
+        assert point.key in result.results
+        assert counting.calls == [point.app]
+        assert not cache.claimed(key)
+
+    def test_released_claim_of_a_failed_runner_lets_waiters_retry(
+        self, tmp_path, monkeypatch
+    ):
+        """A runner whose point fails permanently must release the
+        claim so a concurrent waiter retries with its own budget."""
+        point = POINTS[0]
+        first_started = threading.Event()
+        finish_first = threading.Event()
+        calls = []
+        lock = threading.Lock()
+
+        def flaky(payload):
+            with lock:
+                calls.append(payload["app"])
+                mine = len(calls)
+            if mine == 1:
+                first_started.set()
+                assert finish_first.wait(timeout=10)
+                raise RuntimeError("dead runner")
+            return {"echo": dict(payload)}
+
+        monkeypatch.setattr(grid_module, "_execute_point", flaky)
+        outcome = {}
+
+        def failing_sweep():
+            runner = GridRunner(
+                jobs=1, retries=0, cache_dir=tmp_path, shared=True,
+                poll_interval=0.005,
+            )
+            outcome["failing"] = runner.run([point], allow_failures=True)
+
+        def waiting_sweep():
+            first_started.wait(timeout=10)
+            runner = GridRunner(
+                jobs=1, retries=0, cache_dir=tmp_path, shared=True,
+                poll_interval=0.005,
+            )
+            outcome["waiting"] = runner.run([point])
+
+        threads = [
+            threading.Thread(target=failing_sweep),
+            threading.Thread(target=waiting_sweep),
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)  # let the waiter reach the claim-wait loop
+        finish_first.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert outcome["failing"].results == {}
+        assert point.key in outcome["waiting"].results
+        assert calls == [point.app, point.app]

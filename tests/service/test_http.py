@@ -1,0 +1,140 @@
+"""The HTTP front end and client, over a real socket on port 0."""
+
+import json
+import urllib.request
+
+import pytest
+
+import repro.runner.grid as grid_module
+from repro.errors import JobSpecError, JobStateError, ServiceError, UnknownJobError
+from repro.runner import canonical_json
+from repro.service import (
+    JobService,
+    ServiceClient,
+    create_server,
+    serve_forever_in_thread,
+)
+
+POINTS = [
+    {"kind": "tm", "app": "mc", "seed": 7, "knobs": {"txns_per_thread": 2}},
+    {"kind": "tls", "app": "gzip", "seed": 7, "knobs": {"num_tasks": 4}},
+]
+
+
+def fake_execute(payload):
+    return {"echo": dict(payload)}
+
+
+@pytest.fixture
+def client(tmp_path, monkeypatch):
+    monkeypatch.setattr(grid_module, "_execute_point", fake_execute)
+    service = JobService(
+        tmp_path / "svc", executor="thread", workers=2, poll_interval=0.01
+    )
+    service.start()
+    server = create_server(service)
+    serve_forever_in_thread(server)
+    host, port = server.server_address[:2]
+    yield ServiceClient(f"http://{host}:{port}")
+    server.shutdown()
+    server.server_close()
+    service.stop()
+
+
+class TestRoutes:
+    def test_health_and_metrics(self, client):
+        assert client.health() == {"status": "ok"}
+        snapshot = client.metrics()
+        assert "counters" in snapshot
+
+    def test_submit_wait_result_round_trip(self, client):
+        view = client.submit({"points": POINTS, "label": "wire"})
+        assert view["job_id"].startswith("job-")
+        final = client.wait(view["job_id"], poll_interval=0.02, timeout=20)
+        assert final["status"] == "done"
+        assert final["label"] == "wire"
+        body = client.result_bytes(view["job_id"])
+        decoded = json.loads(body)
+        assert len(decoded) == 2
+        # The wire bytes are the stored canonical JSON, untouched.
+        assert body.decode("utf-8") == canonical_json(decoded)
+
+    def test_jobs_listing(self, client):
+        view = client.submit({"points": POINTS})
+        client.wait(view["job_id"], poll_interval=0.02, timeout=20)
+        jobs = client.jobs()
+        assert [job["job_id"] for job in jobs] == [view["job_id"]]
+        assert jobs[0]["points_total"] == 2
+
+    def test_events_paginate_with_since(self, client):
+        view = client.submit({"points": POINTS})
+        client.wait(view["job_id"], poll_interval=0.02, timeout=20)
+        lines = client.events(view["job_id"])
+        assert json.loads(lines[0])["kind"] == "job.queued"
+        assert json.loads(lines[-1])["kind"] == "job.done"
+        tail = client.events(view["job_id"], since=len(lines) - 1)
+        assert len(tail) == 1
+        assert client.events(view["job_id"], since=len(lines)) == []
+
+    def test_wait_streams_events_exactly_once(self, client):
+        view = client.submit({"points": POINTS})
+        seen = []
+        client.wait(
+            view["job_id"], poll_interval=0.02, timeout=20,
+            on_event=seen.append,
+        )
+        kinds = [json.loads(line)["kind"] for line in seen]
+        assert kinds == [
+            json.loads(line)["kind"]
+            for line in client.events(view["job_id"])
+        ]
+
+
+class TestErrorMapping:
+    def test_bad_spec_is_400_jobspecerror(self, client):
+        with pytest.raises(JobSpecError, match="kind must be one of"):
+            client.submit({"points": [{"kind": "warp", "app": "x"}]})
+
+    def test_garbage_body_is_400(self, client):
+        request = urllib.request.Request(
+            f"{client.base_url}/jobs", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request)
+        assert info.value.code == 400
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(UnknownJobError):
+            client.job("job-does-not-exist")
+
+    def test_result_before_done_is_409(self, client, monkeypatch):
+        import threading
+
+        gate = threading.Event()
+
+        def gated(payload):
+            assert gate.wait(timeout=10)
+            return fake_execute(payload)
+
+        monkeypatch.setattr(grid_module, "_execute_point", gated)
+        view = client.submit({"points": POINTS})
+        with pytest.raises(JobStateError, match="has no result"):
+            client.result_bytes(view["job_id"])
+        gate.set()
+        client.wait(view["job_id"], poll_interval=0.02, timeout=20)
+
+    def test_cancel_of_terminal_job_is_409(self, client):
+        view = client.submit({"points": POINTS})
+        client.wait(view["job_id"], poll_interval=0.02, timeout=20)
+        with pytest.raises(JobStateError, match="nothing to cancel"):
+            client.cancel(view["job_id"])
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError, match="no route"):
+            client._request_json("GET", "/nope")
+
+    def test_unreachable_service_is_a_typed_error(self):
+        dead = ServiceClient("http://127.0.0.1:1", timeout=0.5)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            dead.health()

@@ -1,0 +1,135 @@
+"""Job-spec parsing and validation (the service's wire format)."""
+
+import pytest
+
+from repro.errors import JobSpecError
+from repro.runner import tls_point, tm_point
+from repro.service import (
+    MAX_POINTS_PER_JOB,
+    parse_job_spec,
+    points_to_spec,
+)
+
+
+def spec_body(**overrides):
+    body = {
+        "points": [
+            {"kind": "tm", "app": "mc", "seed": 7,
+             "knobs": {"txns_per_thread": 3}},
+            {"kind": "tls", "app": "gzip", "knobs": {"num_tasks": 8}},
+        ],
+    }
+    body.update(overrides)
+    return body
+
+
+class TestParsing:
+    def test_points_become_canonical_grid_points(self):
+        spec = parse_job_spec(spec_body())
+        expected = [
+            tm_point("mc", seed=7, txns_per_thread=3),
+            tls_point("gzip", num_tasks=8),
+        ]
+        assert list(spec.points) == expected
+        assert [p.key for p in spec.points] == [p.key for p in expected]
+
+    def test_defaults(self):
+        spec = parse_job_spec(spec_body())
+        assert spec.label == ""
+        assert spec.retries == 1
+        assert spec.timeout_seconds is None
+        assert spec.allow_failures is False
+
+    def test_options_round_trip_through_to_dict(self):
+        body = spec_body(label="sweep", retries=3, timeout_seconds=12,
+                         allow_failures=True)
+        spec = parse_job_spec(body)
+        again = parse_job_spec(spec.to_dict())
+        assert again == spec
+
+    def test_points_to_spec_round_trips(self):
+        points = [tm_point("mc", txns_per_thread=2), tls_point("gzip")]
+        spec = parse_job_spec(points_to_spec(points, label="x"))
+        assert list(spec.points) == sorted(points, key=lambda p: p.key) or \
+            list(spec.points) == points
+
+
+class TestRejection:
+    def test_non_object_spec(self):
+        with pytest.raises(JobSpecError):
+            parse_job_spec([1, 2])
+
+    def test_unknown_spec_field(self):
+        with pytest.raises(JobSpecError, match="unknown job spec field"):
+            parse_job_spec(spec_body(bogus=1))
+
+    def test_empty_points(self):
+        with pytest.raises(JobSpecError, match="non-empty 'points'"):
+            parse_job_spec({"points": []})
+
+    def test_point_limit(self):
+        body = {
+            "points": [
+                {"kind": "tm", "app": "mc", "seed": seed}
+                for seed in range(MAX_POINTS_PER_JOB + 1)
+            ]
+        }
+        with pytest.raises(JobSpecError, match="per-job limit"):
+            parse_job_spec(body)
+
+    def test_unknown_point_field(self):
+        body = spec_body()
+        body["points"][0]["color"] = "red"
+        with pytest.raises(JobSpecError, match=r"points\[0\]: unknown"):
+            parse_job_spec(body)
+
+    def test_bad_kind(self):
+        body = spec_body()
+        body["points"][1]["kind"] = "warp"
+        with pytest.raises(JobSpecError, match=r"points\[1\]: kind"):
+            parse_job_spec(body)
+
+    def test_bool_seed_is_not_an_integer(self):
+        body = spec_body()
+        body["points"][0]["seed"] = True
+        with pytest.raises(JobSpecError, match="seed must be an integer"):
+            parse_job_spec(body)
+
+    def test_non_scalar_knob(self):
+        body = spec_body()
+        body["points"][0]["knobs"] = {"layout": [1, 2]}
+        with pytest.raises(JobSpecError, match="JSON scalar"):
+            parse_job_spec(body)
+
+    def test_duplicate_points_are_rejected_with_both_indices(self):
+        body = spec_body()
+        body["points"].append(dict(body["points"][0]))
+        with pytest.raises(
+            JobSpecError, match=r"points\[2\] duplicates points\[0\]"
+        ):
+            parse_job_spec(body)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("label", 3), ("retries", -1), ("retries", True),
+         ("timeout_seconds", 0), ("timeout_seconds", "soon"),
+         ("allow_failures", "yes")],
+    )
+    def test_bad_options(self, field, value):
+        with pytest.raises(JobSpecError):
+            parse_job_spec(spec_body(**{field: value}))
+
+
+class TestSpecHash:
+    def test_hash_covers_points_only(self):
+        base = parse_job_spec(spec_body())
+        relabelled = parse_job_spec(
+            spec_body(label="other", retries=5, timeout_seconds=9)
+        )
+        assert base.spec_hash() == relabelled.spec_hash()
+
+    def test_hash_changes_with_the_grid(self):
+        base = parse_job_spec(spec_body())
+        body = spec_body()
+        body["points"][0]["seed"] = 8
+        assert parse_job_spec(body).spec_hash() != base.spec_hash()

@@ -1,0 +1,173 @@
+"""The SQLite job store: lifecycle, progress, events, recovery."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.errors import JobStateError, ServiceError, UnknownJobError
+from repro.service import JobStore, parse_job_spec
+
+
+def make_spec(seed=7, label=""):
+    return parse_job_spec(
+        {
+            "label": label,
+            "points": [
+                {"kind": "tm", "app": "mc", "seed": seed,
+                 "knobs": {"txns_per_thread": 2}},
+                {"kind": "tls", "app": "gzip", "seed": seed,
+                 "knobs": {"num_tasks": 4}},
+            ],
+        }
+    )
+
+
+def keys_for(spec):
+    return {point.key: f"cache-{point.key}" for point in spec.points}
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = JobStore(tmp_path / "svc")
+    yield store
+    store.close()
+
+
+class TestJobs:
+    def test_create_assigns_sequential_hashed_ids(self, store):
+        spec = make_spec()
+        first = store.create_job(spec, keys_for(spec))
+        second = store.create_job(spec, keys_for(spec))
+        assert first == f"job-000001-{spec.spec_hash()[:12]}"
+        assert second == f"job-000002-{spec.spec_hash()[:12]}"
+        assert [r.job_id for r in store.jobs()] == [first, second]
+
+    def test_spec_round_trips_through_the_store(self, store):
+        spec = make_spec(label="sweep")
+        job_id = store.create_job(spec, keys_for(spec))
+        assert store.job(job_id).spec == spec
+
+    def test_missing_cache_key_is_refused(self, store):
+        spec = make_spec()
+        keys = keys_for(spec)
+        keys.pop(spec.points[0].key)
+        with pytest.raises(ServiceError, match="no cache key"):
+            store.create_job(spec, keys)
+
+    def test_unknown_job_raises(self, store):
+        with pytest.raises(UnknownJobError, match="job-nope"):
+            store.job("job-nope")
+
+
+class TestLifecycle:
+    def test_legal_path_queued_running_done(self, store):
+        spec = make_spec()
+        job_id = store.create_job(spec, keys_for(spec))
+        assert store.job(job_id).status == "queued"
+        store.set_job_status(job_id, "running")
+        store.set_job_status(job_id, "done", result_json="{}")
+        assert store.job(job_id).status == "done"
+        assert store.result_json(job_id) == "{}"
+
+    @pytest.mark.parametrize("terminal", ["done", "failed", "cancelled"])
+    def test_terminal_states_are_sticky(self, store, terminal):
+        spec = make_spec()
+        job_id = store.create_job(spec, keys_for(spec))
+        store.set_job_status(job_id, terminal, result_json="{}")
+        with pytest.raises(JobStateError, match="cannot move"):
+            store.set_job_status(job_id, "running")
+
+    def test_result_is_gated_on_done(self, store):
+        spec = make_spec()
+        job_id = store.create_job(spec, keys_for(spec))
+        with pytest.raises(JobStateError, match="has no result"):
+            store.result_json(job_id)
+
+    def test_cancel_flags_and_refuses_terminal(self, store):
+        spec = make_spec()
+        job_id = store.create_job(spec, keys_for(spec))
+        assert store.request_cancel(job_id) == "queued"
+        assert store.cancel_requested(job_id)
+        store.set_job_status(job_id, "cancelled")
+        with pytest.raises(JobStateError, match="nothing to cancel"):
+            store.request_cancel(job_id)
+
+
+class TestPoints:
+    def test_progress_counts_statuses_and_outcomes(self, store):
+        spec = make_spec()
+        job_id = store.create_job(spec, keys_for(spec))
+        tm_key, tls_key = sorted(p.key for p in spec.points)
+        store.update_point(job_id, tm_key, "done", outcome="computed",
+                           attempts=1)
+        progress = store.progress(job_id)
+        assert progress["total"] == 2
+        assert progress["done"] == 1
+        assert progress["pending"] == 1
+        assert progress["computed"] == 1
+        assert progress["deduped"] == 0
+
+    def test_unknown_point_or_status_is_refused(self, store):
+        spec = make_spec()
+        job_id = store.create_job(spec, keys_for(spec))
+        with pytest.raises(ServiceError, match="no point"):
+            store.update_point(job_id, "nope", "done")
+        with pytest.raises(ServiceError, match="unknown point status"):
+            store.update_point(job_id, spec.points[0].key, "paused")
+        with pytest.raises(ServiceError, match="unknown point outcome"):
+            store.update_point(job_id, spec.points[0].key, "done",
+                               outcome="guessed")
+
+
+class TestEvents:
+    def test_events_are_dense_per_job_json_lines(self, store):
+        spec = make_spec()
+        job_id = store.create_job(spec, keys_for(spec))
+        store.append_event(job_id, "job.started")
+        store.append_event(job_id, "point.done", key="k", outcome="computed")
+        lines = store.events_after(job_id, 0)
+        decoded = [json.loads(line) for line in lines]
+        assert [e["seq"] for e in decoded] == [1, 2, 3]
+        assert decoded[0]["kind"] == "job.queued"
+        assert decoded[2]["outcome"] == "computed"
+
+    def test_since_pages_through_the_stream(self, store):
+        spec = make_spec()
+        job_id = store.create_job(spec, keys_for(spec))
+        store.append_event(job_id, "job.started")
+        assert len(store.events_after(job_id, 1)) == 1
+        assert store.events_after(job_id, 2) == []
+
+
+class TestRecoveryAndSchema:
+    def test_unfinished_jobs_skips_terminal_ones(self, store):
+        spec = make_spec()
+        finished = store.create_job(spec, keys_for(spec))
+        store.set_job_status(finished, "done", result_json="{}")
+        other = make_spec(seed=9)
+        open_id = store.create_job(other, keys_for(other))
+        assert [r.job_id for r in store.unfinished_jobs()] == [open_id]
+
+    def test_schema_mismatch_refuses_to_open(self, tmp_path):
+        store = JobStore(tmp_path / "svc")
+        store.close()
+        connection = sqlite3.connect(str(tmp_path / "svc" / "jobs.sqlite"))
+        with connection:
+            connection.execute(
+                "UPDATE meta SET value = '999' WHERE key = 'schema_version'"
+            )
+        connection.close()
+        with pytest.raises(ServiceError, match="schema 999"):
+            JobStore(tmp_path / "svc")
+
+    def test_reopen_preserves_jobs(self, tmp_path):
+        store = JobStore(tmp_path / "svc")
+        spec = make_spec()
+        job_id = store.create_job(spec, keys_for(spec))
+        store.close()
+        reopened = JobStore(tmp_path / "svc")
+        try:
+            assert reopened.job(job_id).status == "queued"
+        finally:
+            reopened.close()

@@ -1,0 +1,125 @@
+"""The ``repro serve`` / ``submit`` / ``jobs`` CLI commands.
+
+``serve`` itself blocks, so the command tests drive ``submit`` and
+``jobs`` against an in-process server on an ephemeral port, with the
+simulation seam monkeypatched for speed (the CI ``service-smoke`` job
+exercises the real ``repro serve`` process end to end).
+"""
+
+import json
+
+import pytest
+
+import repro.runner.grid as grid_module
+from repro.cli import build_parser, main
+from repro.service import JobService, create_server, serve_forever_in_thread
+
+SPEC = {
+    "label": "cli test",
+    "points": [
+        {"kind": "tm", "app": "mc", "seed": 7,
+         "knobs": {"txns_per_thread": 2}},
+        {"kind": "tls", "app": "gzip", "seed": 7,
+         "knobs": {"num_tasks": 4}},
+    ],
+}
+
+
+def fake_execute(payload):
+    return {"echo": dict(payload)}
+
+
+@pytest.fixture
+def service_url(tmp_path, monkeypatch):
+    monkeypatch.setattr(grid_module, "_execute_point", fake_execute)
+    service = JobService(
+        tmp_path / "svc", executor="thread", workers=2, poll_interval=0.01
+    )
+    service.start()
+    server = create_server(service)
+    serve_forever_in_thread(server)
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    service.stop()
+
+
+class TestParser:
+    def test_serve_requires_a_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--store", "s"])
+        assert args.port == 8742
+        assert args.executor == "process"
+        assert args.workers is None
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit", "spec.json"])
+        assert args.url == "http://127.0.0.1:8742"
+        assert not args.wait and args.out is None
+
+
+class TestSubmit:
+    def test_submit_wait_and_download(self, tmp_path, service_url, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(SPEC))
+        out_file = tmp_path / "result.json"
+        assert main([
+            "submit", str(spec_file), "--url", service_url,
+            "--out", str(out_file), "--show-events",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "submitted job-" in out
+        assert ": done" in out
+        assert "job.done" in out  # --show-events streamed the lifecycle
+        downloaded = json.loads(out_file.read_text())
+        assert len(downloaded) == 2
+
+    def test_submit_fire_and_forget(self, tmp_path, service_url, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(SPEC))
+        assert main(["submit", str(spec_file), "--url", service_url]) == 0
+        assert "submitted job-" in capsys.readouterr().out
+
+    def test_bad_spec_fails_with_diagnostics(
+        self, tmp_path, service_url, capsys
+    ):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({"points": []}))
+        assert main(["submit", str(spec_file), "--url", service_url]) == 2
+        assert "non-empty 'points'" in capsys.readouterr().err
+
+    def test_missing_spec_file(self, service_url, capsys):
+        assert main(["submit", "/nope.json", "--url", service_url]) == 2
+        assert "cannot read spec" in capsys.readouterr().err
+
+
+class TestJobs:
+    def test_empty_listing(self, service_url, capsys):
+        assert main(["jobs", "--url", service_url]) == 0
+        assert "no jobs" in capsys.readouterr().out
+
+    def test_listing_and_detail(self, tmp_path, service_url, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(SPEC))
+        assert main([
+            "submit", str(spec_file), "--url", service_url, "--wait",
+        ]) == 0
+        job_id = [
+            word for word in capsys.readouterr().out.split()
+            if word.startswith("job-")
+        ][0]
+        assert main(["jobs", "--url", service_url]) == 0
+        listing = capsys.readouterr().out
+        assert job_id in listing and "cli test" in listing
+        assert main(["jobs", job_id, "--url", service_url]) == 0
+        detail = capsys.readouterr().out
+        assert "status: done" in detail
+        assert "2/2 done" in detail
+
+    def test_unreachable_service(self, capsys):
+        assert main(["jobs", "--url", "http://127.0.0.1:1"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
