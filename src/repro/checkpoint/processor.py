@@ -125,8 +125,15 @@ class CheckpointedProcessor:
             raise SimulationError(f"unknown checkpoint {checkpoint_id}")
         keep = positions.index(checkpoint_id)
         discarded = self._checkpoints[keep:]
-        for checkpoint in reversed(discarded):
-            self.bdm.squash_invalidate(self.cache, checkpoint.context)
+        # Invalidate every discarded epoch's dirty lines in one batched
+        # pass (youngest first, matching the per-epoch order), then
+        # release the contexts.  Releasing after the walk is equivalent
+        # to the interleaved order: release only clears the released
+        # context's own signatures, which the batch snapshotted already.
+        self.bdm.squash_invalidate_contexts(
+            self.cache, [c.context for c in reversed(discarded)]
+        )
+        for checkpoint in discarded:
             self.bdm.release_context(checkpoint.context)
         del self._checkpoints[keep:]
         self.bdm.set_running(

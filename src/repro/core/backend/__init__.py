@@ -22,8 +22,14 @@ conformance tested by registration alone.  See ``docs/BACKENDS.md``.
 
 from repro.core.backend.base import (
     PackedSignatureBackend,
+    SignatureArena,
     SignatureBackend,
     SignatureBank,
+)
+from repro.core.backend.codec import (
+    CodecKernels,
+    codec_stats,
+    reset_codec_stats,
 )
 from repro.core.backend.registry import (
     DEFAULT_BACKEND_NAME,
@@ -39,12 +45,16 @@ from repro.core.backend.registry import (
 __all__ = [
     "DEFAULT_BACKEND_NAME",
     "BackendEntry",
+    "CodecKernels",
     "PackedSignatureBackend",
+    "SignatureArena",
     "SignatureBackend",
     "SignatureBank",
     "backend_entry",
     "backend_names",
+    "codec_stats",
     "register_backend",
+    "reset_codec_stats",
     "resolve_backend",
     "suppress_fallback_warnings",
     "unregister_backend",

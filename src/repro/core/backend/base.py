@@ -73,6 +73,60 @@ class SignatureBank:
             for key, (read, write) in zip(self._keys, self._rows)
         }
 
+    def conflict_pairs(
+        self, committed_write: Signature
+    ) -> Dict[Any, Tuple[bool, bool]]:
+        """``key -> (W_C ∩ R ≠ ∅, W_C ∩ W ≠ ∅)`` for every row.
+
+        The split form of :meth:`conflict_flags`: the read flag is the
+        RAW half of Equation 1 and the write flag the WAW half, so
+        commit paths that classify conflict causes get both from the
+        same batched pass.
+        """
+        return {
+            key: (
+                committed_write.intersects(read),
+                committed_write.intersects(write),
+            )
+            for key, (read, write) in zip(self._keys, self._rows)
+        }
+
+
+class SignatureArena:
+    """A block of signature registers allocated as one unit.
+
+    Section 4.5's BDM is a *file* of signature registers — one
+    allocation holding every version context's R/W pair.  An arena
+    models that: a fixed number of registers requested up front, handed
+    out by :meth:`make_signature`.  This base implementation simply
+    allocates per call (packed and pure registers are individual Python
+    objects; there is nothing to pool); the numpy backend's arena backs
+    the registers with rows of one ``(n_rows, n_words)`` matrix so a
+    whole grid point's signatures share a single allocation.
+
+    A request beyond ``rows`` degrades to plain allocation — callers
+    never have to size the arena exactly.
+    """
+
+    __slots__ = ("backend", "config", "rows")
+
+    def __init__(
+        self, backend: "SignatureBackend", config: SignatureConfig, rows: int
+    ) -> None:
+        self.backend = backend
+        self.config = config
+        self.rows = rows
+
+    def make_signature(self) -> Signature:
+        """A fresh, empty register (arena-backed while rows remain)."""
+        return self.backend.make_signature(self.config)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.backend.name!r}, "
+            f"{self.config.name}, rows={self.rows})"
+        )
+
 
 class SignatureBackend:
     """One signature storage strategy: a Signature class plus its bank.
@@ -91,10 +145,20 @@ class SignatureBackend:
     #: Whether :meth:`make_bank` returns a genuinely batched bank (the
     #: commit pre-filter is only worth building when it does).
     batched: bool = False
+    #: The backend's vectorised codec kernels
+    #: (:class:`repro.core.backend.codec.CodecKernels`) for delta
+    #: decode, RLE, and expansion membership; ``None`` keeps the scalar
+    #: reference paths.  Mirrored on the Signature subclass as
+    #: ``_codec`` so hot paths dispatch without a registry lookup.
+    codec = None
 
     def make_signature(self, config: SignatureConfig) -> Signature:
         """A fresh, empty signature register."""
         return self.signature_class(config)
+
+    def make_arena(self, config: SignatureConfig, rows: int) -> SignatureArena:
+        """An arena of ``rows`` registers allocated as one unit."""
+        return SignatureArena(self, config, rows)
 
     def from_addresses(
         self, config: SignatureConfig, addresses: Iterable[int]

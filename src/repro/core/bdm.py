@@ -27,15 +27,21 @@ from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.cache.cache import Cache
 from repro.cache.geometry import CacheGeometry
-from repro.core.backend.base import SignatureBackend
+from repro.core.backend.base import SignatureArena, SignatureBackend
+from repro.core.backend.codec import note_codec
 from repro.core.decode import CachedDecoder
 from repro.core.disambiguation import DisambiguationResult, disambiguate
-from repro.core.expansion import expand_signature
+from repro.core.expansion import matched_lines
 from repro.core.signature import Signature
 from repro.core.signature_config import SignatureConfig
 from repro.core.wordmask import UpdatedWordBitmaskUnit, merge_line
 from repro.errors import ConfigurationError, SetRestrictionError, SimulationError
-from repro.mem.address import Granularity
+from repro.mem.address import (
+    LINE_SHIFT,
+    WORD_SHIFT,
+    WORD_TO_LINE_SHIFT,
+    Granularity,
+)
 
 #: Type of the "read the just-committed line from the network" callback
 #: used by the word-merge path of commit-side bulk invalidation.
@@ -76,12 +82,16 @@ class VersionContext:
 
     ``backend`` selects the signature storage
     (:mod:`repro.core.backend`); ``None`` keeps the default packed
-    registers.
+    registers.  ``arena`` optionally supplies the registers from a
+    shared :class:`~repro.core.backend.base.SignatureArena`, so all of
+    a BDM's contexts live in one allocation (the Figure 7 signature
+    file).
     """
 
     __slots__ = (
         "slot",
         "backend",
+        "arena",
         "owner",
         "read_signature",
         "write_signature",
@@ -96,10 +106,17 @@ class VersionContext:
         slot: int,
         config: SignatureConfig,
         backend: "Optional[SignatureBackend]" = None,
+        arena: "Optional[SignatureArena]" = None,
     ) -> None:
         self.slot = slot
         self.backend = backend
-        make = Signature if backend is None else backend.make_signature
+        self.arena = arena
+        if arena is not None:
+            make = lambda _config: arena.make_signature()  # noqa: E731
+        elif backend is not None:
+            make = backend.make_signature
+        else:
+            make = Signature
         self.owner: Optional[int] = None
         self.read_signature = make(config)
         self.write_signature = make(config)
@@ -115,7 +132,9 @@ class VersionContext:
     def start_shadow(self) -> None:
         """Begin maintaining the shadow write signature (at child spawn)."""
         config = self.write_signature.config
-        if self.backend is None:
+        if self.arena is not None:
+            self.shadow_write_signature = self.arena.make_signature()
+        elif self.backend is None:
             self.shadow_write_signature = Signature(config)
         else:
             self.shadow_write_signature = self.backend.make_signature(config)
@@ -189,10 +208,27 @@ class BulkDisambiguationModule:
         # (TM/TLS commit and squash invalidation, checkpoint rollback).
         self.decoder = CachedDecoder(config, geometry.num_sets)
         self._set_mask = geometry.num_sets - 1
+        # Per-access fast-path constants, fixed by the configuration:
+        # byte address -> granule is one shift, granule -> cache set is a
+        # shift plus the mask (== decoder.set_index_of).
+        if config.granularity is Granularity.LINE:
+            self._byte_shift = LINE_SHIFT
+            self._granule_line_shift = 0
+        else:
+            self._byte_shift = WORD_SHIFT
+            self._granule_line_shift = WORD_TO_LINE_SHIFT
         if require_exact_delta:
             self.decoder.require_exact()
+        # The signature file (Figure 7): every context's registers come
+        # from one arena — R, W, and a possible shadow W per context —
+        # so a backend with matrix storage keeps a whole BDM's
+        # signatures in a single (n_rows, n_words) allocation.
+        self.arena: Optional[SignatureArena] = (
+            None if backend is None else backend.make_arena(config, 3 * num_contexts)
+        )
         self.contexts: List[VersionContext] = [
-            VersionContext(slot, config, backend) for slot in range(num_contexts)
+            VersionContext(slot, config, backend, self.arena)
+            for slot in range(num_contexts)
         ]
         self.running: Optional[VersionContext] = None
         self.stats = BdmStats()
@@ -292,9 +328,11 @@ class BulkDisambiguationModule:
         the access into further signatures (the TM scheme's per-section
         registers) can reuse it instead of re-encoding.
         """
-        config = self.config
-        mask = config.flat_mask(config.granularity.from_byte(byte_address))
-        self._require_running().read_signature.add_mask(mask)
+        running = self.running
+        if running is None:
+            raise SimulationError("no running speculative context in the BDM")
+        mask = self.config.flat_mask(byte_address >> self._byte_shift)
+        running.read_signature.add_mask(mask)
         return mask
 
     def record_store(self, byte_address: int) -> int:
@@ -304,18 +342,19 @@ class BulkDisambiguationModule:
         has *already* validated with :meth:`store_set_action`.  The
         context's incremental ``delta(W)`` mask is updated here.
         """
-        config = self.config
-        address = config.granularity.from_byte(byte_address)
-        return self.record_store_granule(address, config.flat_mask(address))
+        address = byte_address >> self._byte_shift
+        return self.record_store_granule(address, self.config.flat_mask(address))
 
     def record_store_granule(self, address: int, mask: int) -> int:
         """The :meth:`record_store` core, for callers that already
         converted the byte address and hold its flat encode mask."""
-        context = self._require_running()
+        context = self.running
+        if context is None:
+            raise SimulationError("no running speculative context in the BDM")
         context.write_signature.add_mask(mask)
         if context.shadow_write_signature is not None:
             context.shadow_write_signature.add_mask(mask)
-        set_index = self.decoder.set_index_of(address)
+        set_index = (address >> self._granule_line_shift) & self._set_mask
         context.delta_mask |= 1 << set_index
         return set_index
 
@@ -406,15 +445,72 @@ class BulkDisambiguationModule:
         from a squashed predecessor.
         """
         invalidated = 0
-        for _, line in expand_signature(context.write_signature, cache, self.decoder):
+        for _, line in matched_lines(context.write_signature, cache, self.decoder):
             if line.dirty:
                 cache.invalidate(line.line_address)
                 invalidated += 1
         if invalidate_read_lines:
-            for _, line in expand_signature(
+            for _, line in matched_lines(
                 context.read_signature, cache, self.decoder
             ):
                 if cache.contains(line.line_address):
+                    cache.invalidate(line.line_address)
+                    invalidated += 1
+        self.stats.squash_invalidations += invalidated
+        return invalidated
+
+    def squash_invalidate_contexts(
+        self, cache: Cache, contexts: Sequence[VersionContext]
+    ) -> int:
+        """Squash-side bulk invalidation over several contexts at once.
+
+        The multi-level rollback path (checkpoint
+        :meth:`~repro.checkpoint.processor.CheckpointedProcessor.rollback_to`)
+        discards a whole run of contexts in one event.  With a vectorised
+        codec, decode each context's W once, gather every selected set's
+        resident lines into one shared address batch, and membership-test
+        all contexts against it in a single
+        :meth:`~repro.core.backend.codec.CodecKernels.match_lines_many`
+        pass.  Bit-identical to calling :meth:`squash_invalidate` once
+        per context in order: candidates are snapshotted up front, and an
+        apply-time ``contains`` check reproduces the scalar behaviour
+        where an earlier context's invalidations remove lines from later
+        contexts' walks.
+        """
+        contexts = list(contexts)
+        codec = None if self.backend is None else self.backend.codec
+        if codec is None or len(contexts) <= 1:
+            return sum(
+                self.squash_invalidate(cache, context) for context in contexts
+            )
+        columns: dict = {}
+        addresses: List[int] = []
+        per_context: List[list] = []
+        for context in contexts:
+            candidates = []
+            for set_index in self.decoder.selected_sets(context.write_signature):
+                for line in cache.lines_in_set(set_index):
+                    address = line.line_address
+                    column = columns.get(address)
+                    if column is None:
+                        column = columns[address] = len(addresses)
+                        addresses.append(address)
+                    candidates.append((column, line))
+            per_context.append(candidates)
+        if not addresses:
+            return 0
+        note_codec("expansion_vectorised")
+        flag_rows = codec.match_lines_many(
+            [context.write_signature for context in contexts], addresses
+        )
+        invalidated = 0
+        for candidates, flags in zip(per_context, flag_rows):
+            for column, line in candidates:
+                if (
+                    flags[column]
+                    and line.dirty
+                    and cache.contains(line.line_address)
+                ):
                     cache.invalidate(line.line_address)
                     invalidated += 1
         self.stats.squash_invalidations += invalidated
@@ -459,7 +555,7 @@ class BulkDisambiguationModule:
         invalidated = 0
         merged = 0
         writeback_invalidated = 0
-        for set_index, line in expand_signature(committed_write, cache, self.decoder):
+        for set_index, line in matched_lines(committed_write, cache, self.decoder):
             if not line.dirty:
                 cache.invalidate(line.line_address)
                 invalidated += 1

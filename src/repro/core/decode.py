@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.core.backend.codec import note_codec
 from repro.core.bitvector import iter_set_bits
 from repro.core.memo import DEFAULT_DECODE_CAPACITY, LruCache
 from repro.core.signature import Signature
@@ -53,6 +54,7 @@ class DeltaDecoder:
         "_groups",
         "_uncovered_bits",
         "_set_mask",
+        "_vec_state",
     )
 
     def __init__(self, config: SignatureConfig, num_sets: int) -> None:
@@ -89,6 +91,10 @@ class DeltaDecoder:
         self._groups = groups
         self._uncovered_bits = tuple(uncovered)
         self.is_exact = len(groups) == 1 and not uncovered
+        #: Per-decoder cache of a codec's precomputed decode state (the
+        #: gather tables of the vectorised kernel); built lazily by the
+        #: codec on first use, ``None`` until then.
+        self._vec_state = None
 
     def require_exact(self) -> None:
         """Raise unless this decoder is exact (the Section 4.3 requirement)."""
@@ -104,7 +110,23 @@ class DeltaDecoder:
 
         Exact when :attr:`is_exact`; otherwise a conservative superset.
         An empty signature decodes to the empty mask.
+
+        Dispatches to the vectorised codec of the signature's storage
+        backend when it ships one (:mod:`repro.core.backend.codec`);
+        :meth:`decode_scalar` is the bit-exact scalar reference both
+        paths must agree with.
         """
+        if signature.is_empty():
+            return 0
+        codec = signature._codec
+        if codec is not None:
+            note_codec("decode_vectorised")
+            return codec.delta_decode(self, signature)
+        note_codec("fallback")
+        return self.decode_scalar(signature)
+
+    def decode_scalar(self, signature: Signature) -> int:
+        """The scalar reference decode (codec kernels must match it)."""
         if signature.is_empty():
             return 0
 

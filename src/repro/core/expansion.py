@@ -7,20 +7,64 @@ valid tag — is wasteful; the hardware instead decodes the signature into a
 cache-set bitmask with delta, and a small FSM walks only the selected
 sets, reading each set's valid line addresses and membership-testing them.
 
-This module reproduces that structure: :func:`expand_signature` walks the
+This module reproduces that structure: :func:`matched_lines` (and its
+generator wrapper :func:`expand_signature`) walks the
 :class:`~repro.core.decode.DeltaDecoder`-selected sets of a
-:class:`~repro.cache.Cache` and yields the lines that pass membership.
+:class:`~repro.cache.Cache` and returns the lines that pass membership.
+
+The membership pass is the codec seam's expansion kernel
+(:mod:`repro.core.backend.codec`): all selected sets' resident line tags
+are gathered into one batch and, when the signature's backend ships a
+vectorised codec, membership-tested against the register in a single
+broadcast instead of per-line ``__contains__`` calls.  The scalar path
+is :func:`line_may_be_in` per candidate — itself a single flat-mask
+intersect per word, with the line→mask encodings memoised per
+configuration (one bounded LRU per config, label ``line_mask``).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.cache.cache import Cache
 from repro.cache.line import CacheLine
+from repro.core.backend.codec import EXPANSION_VECTOR_MIN_LINES, note_codec
 from repro.core.decode import DeltaDecoder
+from repro.core.memo import DEFAULT_LINE_MASK_CAPACITY, LruCache
 from repro.core.signature import Signature
+from repro.core.signature_config import SignatureConfig
 from repro.mem.address import Granularity, words_of_line
+
+#: config -> LruCache of line address -> (OR of word masks, word masks).
+#: Like the shared decode memos, keyed per configuration because the
+#: encodings are pure in ``(config, line_address)``.
+_LINE_MASK_CACHES: Dict[SignatureConfig, LruCache] = {}
+
+_LINE_MASK_MISS = object()
+
+
+def _line_masks(config: SignatureConfig, line_address: int) -> tuple:
+    """``(union_mask, per-word flat masks)`` of a line's 16 words.
+
+    The union mask is a cheap negative pre-filter: a signature that
+    shares no bit with it cannot contain any word of the line (every
+    per-word mask is non-empty, one bit per V_i field).
+    """
+    cache = _LINE_MASK_CACHES.get(config)
+    if cache is None:
+        cache = _LINE_MASK_CACHES[config] = LruCache(
+            "line_mask", DEFAULT_LINE_MASK_CAPACITY
+        )
+    entry = cache.get(line_address, _LINE_MASK_MISS)
+    if entry is _LINE_MASK_MISS:
+        flat_mask = config.flat_mask
+        masks = tuple(flat_mask(word) for word in words_of_line(line_address))
+        union = 0
+        for mask in masks:
+            union |= mask
+        entry = (union, masks)
+        cache.put(line_address, entry)
+    return entry
 
 
 def line_may_be_in(signature: Signature, line_address: int) -> bool:
@@ -29,11 +73,58 @@ def line_may_be_in(signature: Signature, line_address: int) -> bool:
     For line-granularity signatures this is the plain membership test.
     For word-granularity signatures a line may be in the signature if *any*
     of its words is — the natural lift the TLS configuration uses when
-    walking cache tags.
+    walking cache tags.  The per-word test is one flat-mask intersect
+    against the memoised line→mask encoding, behind a single-AND
+    negative pre-filter on the union of the word masks.
     """
     if signature.config.granularity is Granularity.LINE:
         return line_address in signature
-    return any(word in signature for word in words_of_line(line_address))
+    union, masks = _line_masks(signature.config, line_address)
+    flat = signature.to_flat_int()
+    if not flat & union:
+        return False
+    for mask in masks:
+        if flat & mask == mask:
+            return True
+    return False
+
+
+def matched_lines(
+    signature: Signature,
+    cache: Cache,
+    decoder: DeltaDecoder,
+) -> List[Tuple[int, CacheLine]]:
+    """``(set_index, line)`` for cached lines possibly in ``signature``.
+
+    The batched form of Figure 4's walk: decode once, gather every
+    selected set's resident lines, then run the membership pass over the
+    whole batch — through the backend's vectorised codec when present
+    and the batch is large enough to profit, else the scalar
+    :func:`line_may_be_in` per candidate (bit-identical either way).
+
+    The result is a snapshot taken before anything is returned, so
+    callers may invalidate or replace lines as they consume it (bulk
+    invalidation does).
+    """
+    candidates: List[Tuple[int, CacheLine]] = []
+    for set_index in decoder.selected_sets(signature):
+        for line in cache.lines_in_set(set_index):
+            candidates.append((set_index, line))
+    if not candidates:
+        return candidates
+    codec = signature._codec
+    if codec is not None and len(candidates) >= EXPANSION_VECTOR_MIN_LINES:
+        note_codec("expansion_vectorised")
+        flags = codec.match_lines(
+            signature, [line.line_address for _, line in candidates]
+        )
+    else:
+        note_codec("fallback")
+        flags = [
+            line_may_be_in(signature, line.line_address)
+            for _, line in candidates
+        ]
+    return [pair for pair, flag in zip(candidates, flags) if flag]
 
 
 def expand_signature(
@@ -43,13 +134,11 @@ def expand_signature(
 ) -> Iterator[Tuple[int, CacheLine]]:
     """Yield ``(set_index, line)`` for cached lines possibly in ``signature``.
 
-    Lines are yielded from a snapshot of each selected set, so callers may
-    invalidate or replace lines as they iterate (bulk invalidation does).
+    Generator wrapper over :func:`matched_lines` (which see); lines are
+    yielded from a pre-walk snapshot, so callers may invalidate or
+    replace lines as they iterate (bulk invalidation does).
     """
-    for set_index in decoder.selected_sets(signature):
-        for line in cache.lines_in_set(set_index):
-            if line_may_be_in(signature, line.line_address):
-                yield set_index, line
+    yield from matched_lines(signature, cache, decoder)
 
 
 def count_expansion_work(

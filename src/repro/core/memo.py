@@ -40,6 +40,7 @@ __all__ = [
     "DEFAULT_FLAT_MASK_CAPACITY",
     "DEFAULT_DECODE_CAPACITY",
     "DEFAULT_RLE_CAPACITY",
+    "DEFAULT_LINE_MASK_CAPACITY",
 ]
 
 #: Address-encode memo bound.  One entry per distinct granule address a
@@ -56,6 +57,11 @@ DEFAULT_DECODE_CAPACITY = 1 << 12
 #: RLE memo bound.  Commit-packet sizing re-encodes the same signature
 #: for the packet header and the bandwidth charge.
 DEFAULT_RLE_CAPACITY = 1 << 12
+
+#: Line→word-mask memo bound (the word-granularity expansion membership
+#: fast path).  One entry per distinct *line* a config has expanded
+#: against, so 16x fewer keys than the word-level flat-mask memo needs.
+DEFAULT_LINE_MASK_CAPACITY = 1 << 14
 
 
 class LruCache:

@@ -17,11 +17,15 @@ packets.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
 
+from repro.core.backend.codec import note_codec
 from repro.core.signature import Signature
 from repro.core.signature_config import SignatureConfig
 from repro.errors import TraceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.backend.base import SignatureBackend
 
 
 def _varint_encode(value: int, out: bytearray) -> None:
@@ -66,20 +70,55 @@ def rle_encode(signature: Signature) -> bytes:
     flat = signature.to_flat_int()
     data = cache.get(flat)
     if data is None:
-        positions: List[int] = list(signature.set_bit_positions())
-        out = bytearray()
-        _varint_encode(len(positions), out)
-        previous = -1
-        for position in positions:
-            _varint_encode(position - previous - 1, out)
-            previous = position
-        data = bytes(out)
+        codec = signature._codec
+        if codec is not None:
+            note_codec("rle_vectorised")
+            data = codec.rle_encode(signature)
+        else:
+            note_codec("fallback")
+            data = rle_encode_scalar(signature)
         cache.put(flat, data)
     return data
 
 
-def rle_decode(config: SignatureConfig, data: bytes) -> Signature:
-    """Rebuild a signature from :func:`rle_encode` output."""
+def rle_encode_scalar(signature: Signature) -> bytes:
+    """The scalar reference encoder (codec kernels must match it)."""
+    positions: List[int] = list(signature.set_bit_positions())
+    out = bytearray()
+    _varint_encode(len(positions), out)
+    previous = -1
+    for position in positions:
+        _varint_encode(position - previous - 1, out)
+        previous = position
+    return bytes(out)
+
+
+def rle_decode(
+    config: SignatureConfig,
+    data: bytes,
+    backend: "Optional[SignatureBackend]" = None,
+) -> Signature:
+    """Rebuild a signature from :func:`rle_encode` output.
+
+    ``backend`` selects the storage of the returned signature (default:
+    packed) and, with it, the codec that parses the stream — a backend
+    with vectorised kernels decodes the whole varint stream in one pass,
+    accepting and rejecting byte-identically to the scalar reference.
+    """
+    signature_class = Signature if backend is None else backend.signature_class
+    codec = signature_class._codec
+    if codec is not None:
+        note_codec("rle_decode_vectorised")
+        flat = codec.rle_decode(config, data)
+    else:
+        note_codec("fallback")
+        flat = rle_decode_scalar_flat(config, data)
+    return signature_class.from_flat_int(config, flat)
+
+
+def rle_decode_scalar_flat(config: SignatureConfig, data: bytes) -> int:
+    """The scalar reference decoder, returning the flat register value
+    (codec kernels must match it, errors included)."""
     count, offset = _varint_decode(data, 0)
     flat = 0
     position = -1
@@ -93,7 +132,7 @@ def rle_decode(config: SignatureConfig, data: bytes) -> Signature:
         flat |= 1 << position
     if offset != len(data):
         raise TraceError("trailing bytes after RLE stream")
-    return Signature.from_flat_int(config, flat)
+    return flat
 
 
 def rle_size_bits(signature: Signature) -> int:

@@ -68,6 +68,13 @@ class Signature:
     #: base class *is* the default ``packed`` backend.
     backend_name = "packed"
 
+    #: The vectorised codec kernels serving this storage
+    #: (:class:`repro.core.backend.codec.CodecKernels`), or ``None`` to
+    #: take the scalar reference paths in decode/RLE/expansion.  Set as
+    #: a class attribute by backends that ship a codec, so codec
+    #: selection follows the ``--sig-backend`` choice automatically.
+    _codec = None
+
     def __init__(self, config: SignatureConfig) -> None:
         self.config = config
         self._flat = 0

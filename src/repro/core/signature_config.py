@@ -173,15 +173,17 @@ class SignatureConfig:
         it.  Memoised per configuration, since workloads revisit the same
         addresses constantly.
         """
-        # Hot path: inline the LRU hit (dict probe + recency touch +
-        # counter) rather than going through LruCache.get — this memo is
-        # consulted on every recorded access of every simulator.
+        # Hot path: inline the LRU hit (dict probe + counter) rather
+        # than going through LruCache.get — this memo is consulted on
+        # every recorded access of every simulator.  Hits deliberately
+        # skip the recency touch: the memo is a pure function, so
+        # insertion-order eviction returns identical values, and the
+        # move_to_end was the single costliest op in the hit path.
         cache = self._flat_mask_cache
         data = cache._data
         mask = data.get(address)
         if mask is not None:
             cache.hits += 1
-            data.move_to_end(address)
             return mask
         cache.misses += 1
         mask = 0
@@ -203,7 +205,6 @@ class SignatureConfig:
         cache = self._flat_mask_cache
         data = cache._data
         get = data.get
-        touch = data.move_to_end
         field_offsets = self.layout.field_offsets
         encode = self.encode
         accumulated = 0
@@ -217,7 +218,6 @@ class SignatureConfig:
             mask = get(address)
             if mask is not None:
                 hits += 1
-                touch(address)
             else:
                 cache.misses += 1
                 mask = 0

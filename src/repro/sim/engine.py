@@ -66,6 +66,16 @@ class MinClockScheduler:
             self._pop_counter.inc()
         return heapq.heappop(self._heap)
 
+    def account_bulk(self, pushes: int) -> None:
+        """Credit pushes performed directly on the underlying heap.
+
+        The systems' metrics-off fast path drains ``_heap`` with plain
+        ``heappush``/``heappop`` (identical ordering, no per-entry
+        bookkeeping) and reports its push count here so
+        :attr:`total_steps` stays correct.
+        """
+        self._enqueued += pushes
+
     def note_stale_pop(self) -> None:
         """Callers report entries they discarded as stale (squash-bumped
         epochs); purely observational."""

@@ -56,8 +56,9 @@ class TlsBulkScheme(TlsScheme):
         #: task id -> snapshot of the parent's W at the spawn point (what
         #: the spawn command carries for the child's cache flush).
         self._spawn_write_snapshot: Dict[int, Signature] = {}
-        #: Per-receiver conflict flags of the in-flight commit broadcast,
-        #: precomputed by a batched backend (``None`` = no prefilter).
+        #: Per-receiver Equation 1 results of the in-flight commit
+        #: broadcast against the full W, precomputed by a batched
+        #: backend (``None`` = scalar disambiguation).
         self._commit_flags: Optional[Dict[int, bool]] = None
 
     # ------------------------------------------------------------------
@@ -322,11 +323,14 @@ class TlsBulkScheme(TlsScheme):
     ) -> None:
         """Batched disambiguation: with a backend whose bank supports it,
         evaluate Equation 1 against every active receiver in one
-        vectorised pass, using the full write signature W.  A clear flag
-        is exact for every receiver — including the first child, which
-        normally disambiguates against the shadow W_sh ⊆ W (Figure 9) —
-        so :meth:`receiver_conflict` can short-circuit; a set flag
-        re-evaluates with the receiver's proper signature.
+        vectorised pass, using the full write signature W.  The flags
+        are the full per-receiver results: every receiver except the
+        committer's first child disambiguates against exactly W, so
+        :meth:`receiver_conflict` returns the flag directly either way.
+        Only the first child under Partial Overlap re-evaluates — its
+        proper signature is the shadow W_sh ⊆ W (Figure 9), for which
+        the W-based flag is exact when clear but only a superset when
+        set.
         """
         self._commit_flags = None
         backend = system.resolve_sig_backend()
@@ -356,8 +360,19 @@ class TlsBulkScheme(TlsScheme):
     ) -> bool:
         assert receiver.proc is not None
         flags = self._commit_flags
-        if flags is not None and flags.get(receiver.task_id, True) is False:
-            return False
+        if flags is not None:
+            flag = flags.get(receiver.task_id)
+            if flag is False:
+                return False
+            if flag is True and not (
+                self.partial_overlap
+                and receiver.task_id == committer.task_id + 1
+            ):
+                # Exact: this receiver disambiguates against the full W
+                # the batched pass used.  The first child re-evaluates
+                # below against the shadow W_sh ⊆ W, for which a set
+                # W-flag is only a superset.
+                return True
         receiver_proc = system.processors[receiver.proc]
         context = self.ctx_of(receiver_proc, receiver.task_id)
         committed_write = self._signature_against(system, committer, receiver)

@@ -361,13 +361,17 @@ class TlsSystem(SpecSystemCore):
         # Shifts inlined (== byte_to_word / byte_to_line): per-access path.
         word = byte_address >> WORD_SHIFT
         line_address = byte_address >> LINE_SHIFT
-        expected = self._expected_value(state, word)
-        line = proc.cache.lookup(line_address)
+        # Cache.lookup inlined (dict probe + LRU touch), and the expected
+        # value computed only when a hit needs the version check — the
+        # miss path rebuilds the line from logs + memory anyway.
+        cache = proc.cache
+        cache_set = cache._sets[line_address & cache._set_mask]
+        line = cache_set.get(line_address)
         if line is not None:
-            if (
-                line.read_word(word) != expected
-                and self.scheme.stale_hit_refetches
-            ):
+            cache_set.move_to_end(line_address)
+            observed = line.words[word & 0xF]  # == line.read_word(word)
+            expected = self._expected_value(state, word)
+            if observed != expected and self.scheme.stale_hit_refetches:
                 # Access-time disambiguation rides a versioned coherence
                 # protocol: a hit on a wrong-version copy is a miss.  The
                 # copy was legally re-created by an *older* task's fill
@@ -377,7 +381,7 @@ class TlsSystem(SpecSystemCore):
                 self._miss_fill(proc, state, line_address)
             else:
                 proc.clock += self.params.hit_cycles
-                if line.read_word(word) != expected:
+                if observed != expected:
                     # Speculatively reading a stale value: legal, but the
                     # task must be squashed before it commits.
                     state.pending_stale.add(word)
@@ -406,8 +410,12 @@ class TlsSystem(SpecSystemCore):
             )
             state.blocked_on = gate
             return False
-        line = proc.cache.lookup(line_address)
+        # Cache.lookup inlined (dict probe + LRU touch), as in _load.
+        cache = proc.cache
+        cache_set = cache._sets[line_address & cache._set_mask]
+        line = cache_set.get(line_address)
         if line is not None:
+            cache_set.move_to_end(line_address)
             proc.clock += self.params.hit_cycles
         else:
             line = self._miss_fill(proc, state, line_address)

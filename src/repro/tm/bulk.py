@@ -46,11 +46,18 @@ class BulkScheme(TmScheme):
     #: Signatures are one-sided supersets: they cannot be enumerated back
     #: into exact sets, so swaps *away* from Bulk conservatively squash.
     state_kind = "signature"
+    #: Bulk is lazy: :meth:`eager_check` only resolves the Set
+    #: Restriction's store case, so the system skips it for loads.
+    eager_checks_loads = False
 
-    #: Per-receiver conflict flags of the in-flight commit broadcast,
-    #: precomputed by a batched backend (``None`` = no prefilter; a
-    #: missing pid means the receiver joined after the broadcast).
-    _commit_flags: Optional[dict] = None
+    #: Batched disambiguation state of the in-flight commit broadcast,
+    #: precomputed by a batched backend: ``(flags, section_counts)``
+    #: where ``flags`` maps ``(pid, section_index)`` to that section's
+    #: Equation 1 result and ``section_counts`` maps pid to the section
+    #: count the flags were computed over.  ``None`` = scalar
+    #: disambiguation; a missing pid means the receiver joined after
+    #: the broadcast (scalar fallback).
+    _commit_flags: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -170,13 +177,22 @@ class BulkScheme(TmScheme):
         option of Section 4.5)."""
         if not is_store or proc.txn is None:
             return None
-        bdm = self.bdm_of(proc)
-        context = proc.scheme_state.get("ctx")
+        state = proc.scheme_state
+        bdm = state["bdm"]
+        context = state.get("ctx")
         if context is None:
             return None
         bdm.set_running(context)
         line_address = byte_to_line(byte_address)
-        if bdm.store_set_action(line_address) is not SetRestrictionAction.CONFLICT:
+        action = bdm.store_set_action(line_address)
+        if action is not SetRestrictionAction.CONFLICT:
+            # The whole Set Restriction is resolved here in one pass:
+            # prepare_store used to recompute the same decision a few
+            # bytecodes later, doubling the per-store decision cost.
+            if action is SetRestrictionAction.WRITEBACK_NONSPEC:
+                system.charge_safe_writebacks(
+                    proc.cache, bdm, proc.cache.set_index(line_address)
+                )
             return None
         set_index = proc.cache.set_index(line_address)
         owner_context = bdm.speculative_owner_of_set(set_index)
@@ -190,6 +206,12 @@ class BulkScheme(TmScheme):
         ):
             return owner_proc.pid  # requester stalls (strict order: no cycles)
         system.squash_preempted_context(proc, owner_context)
+        # The store proceeds this step: apply the post-squash decision
+        # (exactly what prepare_store would have computed).
+        if bdm.store_set_action(line_address) is (
+            SetRestrictionAction.WRITEBACK_NONSPEC
+        ):
+            system.charge_safe_writebacks(proc.cache, bdm, set_index)
         return None
 
     @staticmethod
@@ -201,43 +223,53 @@ class BulkScheme(TmScheme):
     def prepare_store(
         self, system: "TmSystem", proc: TmProcessor, line_address: int
     ) -> None:
-        """Enforce the Set Restriction before the store updates the cache.
-
-        The (0,1) conflict case was already resolved by
-        :meth:`eager_check`; here only the safe-writeback case remains.
+        """The Set Restriction was already enforced by :meth:`eager_check`
+        (one decision pass per store); only the missing-context guard
+        remains here.
         """
-        bdm = self.bdm_of(proc)
-        bdm.set_running(self._ctx(proc))
-        action = bdm.store_set_action(line_address)
-        if action is not SetRestrictionAction.WRITEBACK_NONSPEC:
-            return
-        set_index = proc.cache.set_index(line_address)
-        system.charge_safe_writebacks(proc.cache, bdm, set_index)
+        if proc.scheme_state.get("ctx") is None:
+            raise SimulationError(
+                f"processor {proc.pid} has no running BDM context"
+            )
 
     def record_load(
         self, system: "TmSystem", proc: TmProcessor, byte_address: int
     ) -> None:
-        bdm = self.bdm_of(proc)
-        bdm.set_running(self._ctx(proc))
+        # Per-access path: the scheme-state dict is probed directly
+        # (bdm_of/_ctx add two frames per recorded access).
+        state = proc.scheme_state
+        bdm = state["bdm"]
+        context = state.get("ctx")
+        if context is None:
+            raise SimulationError(
+                f"processor {proc.pid} has no running BDM context"
+            )
+        bdm.set_running(context)
         # The BDM hands back the address's encode mask so the section
         # register records the access without re-encoding it.
         mask = bdm.record_load(byte_address)
         assert proc.txn is not None
-        section = proc.txn.current
+        section = proc.txn.sections[-1]  # == .current, sans property call
         if section.read_signature is not None:
             section.read_signature.add_mask(mask)
 
     def record_store(
         self, system: "TmSystem", proc: TmProcessor, byte_address: int
     ) -> None:
-        bdm = self.bdm_of(proc)
-        bdm.set_running(self._ctx(proc))
+        state = proc.scheme_state
+        bdm = state["bdm"]
+        context = state.get("ctx")
+        if context is None:
+            raise SimulationError(
+                f"processor {proc.pid} has no running BDM context"
+            )
+        bdm.set_running(context)
         config = bdm.config
-        address = config.granularity.from_byte(byte_address)
+        address = byte_address >> bdm._byte_shift
         mask = config.flat_mask(address)
         bdm.record_store_granule(address, mask)
         assert proc.txn is not None
-        section = proc.txn.current
+        section = proc.txn.sections[-1]  # == .current, sans property call
         if section.write_signature is not None:
             section.write_signature.add_mask(mask)
 
@@ -264,11 +296,13 @@ class BulkScheme(TmScheme):
         self, system: "TmSystem", committer: TmProcessor
     ) -> None:
         """Batched disambiguation: with a backend whose bank supports it,
-        evaluate Equation 1 against *every* receiver's aggregate context
-        registers in one vectorised pass.  A clear flag is exact (each
-        section signature is a subset of the context aggregate), so
-        :meth:`receiver_conflict` can skip its per-section scan; a set
-        flag still walks the sections to find the first conflicting one.
+        evaluate Equation 1 against *every* receiver's *per-section*
+        registers in one vectorised pass.  The per-section flags are the
+        exact scalar results (Equation 1 per section), so
+        :meth:`receiver_conflict` reads the first conflicting section
+        straight from the matrix pass — its per-section ``intersects``
+        scan survives only as the fallback for receivers the broadcast
+        did not cover.
         """
         self._commit_flags = None
         backend = system.resolve_sig_backend()
@@ -276,17 +310,27 @@ class BulkScheme(TmScheme):
             return
         committed = self._commit_signature(committer)
         bank = backend.make_bank(committed.config)
+        section_counts: dict = {}
         for other in system.processors:
             if other is committer or other.txn is None:
                 continue
             context = other.scheme_state.get("ctx")
             if context is None:
                 continue
-            bank.add_row(
-                other.pid, context.read_signature, context.write_signature
-            )
+            sections = other.txn.sections
+            for section in sections:
+                if section.read_signature is None or section.write_signature is None:
+                    break
+            else:
+                for index, section in enumerate(sections):
+                    bank.add_row(
+                        (other.pid, index),
+                        section.read_signature,
+                        section.write_signature,
+                    )
+                section_counts[other.pid] = len(sections)
         if len(bank):
-            self._commit_flags = bank.conflict_flags(committed)
+            self._commit_flags = (bank.conflict_flags(committed), section_counts)
 
     def receiver_conflict(
         self,
@@ -295,9 +339,18 @@ class BulkScheme(TmScheme):
         receiver: TmProcessor,
     ) -> Optional[int]:
         assert receiver.txn is not None
-        flags = self._commit_flags
-        if flags is not None and flags.get(receiver.pid, True) is False:
-            return None
+        state = self._commit_flags
+        if state is not None:
+            flags, section_counts = state
+            count = section_counts.get(receiver.pid)
+            if count is not None and count == len(receiver.txn.sections):
+                # The broadcast pass covered exactly this receiver's
+                # sections; the flags ARE the per-section Equation 1
+                # results, so the first set one is the answer.
+                for index in range(count):
+                    if flags[(receiver.pid, index)]:
+                        return index
+                return None
         committed_write = self._commit_signature(committer)
         for index, section in enumerate(receiver.txn.sections):
             read_sig = section.read_signature

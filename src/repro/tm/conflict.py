@@ -59,6 +59,11 @@ class TmScheme(SpecScheme):
     # Access hooks
     # ------------------------------------------------------------------
 
+    #: Whether :meth:`eager_check` can act on *loads*.  Lazy schemes
+    #: (Bulk) only screen stores — the Set Restriction — so the system
+    #: skips the per-load hook call entirely when this is ``False``.
+    eager_checks_loads = True
+
     def eager_check(
         self,
         system: "TmSystem",

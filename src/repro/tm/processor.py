@@ -33,11 +33,15 @@ class TmProcessor:
         "waiters",
         "scheme_state",
         "next_txn_id",
+        "num_events",
     )
 
     def __init__(self, pid: int, trace: ThreadTrace, geometry: CacheGeometry) -> None:
         self.pid = pid
         self.trace = trace
+        #: len(trace.events), pinned: the run loop tests end-of-trace
+        #: after every step.
+        self.num_events = len(trace.events)
         self.cache = Cache(geometry)
         #: Index of the next event to execute.
         self.cursor = 0

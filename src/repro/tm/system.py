@@ -22,6 +22,7 @@ The simulator enforces two oracles while running:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -134,24 +135,49 @@ class TmSystem(SpecSystemCore):
         )
         scheduler = MinClockScheduler(self.metrics)
         self._scheduler = scheduler
-        for proc in self.processors:
+        processors = self.processors
+        for proc in processors:
             if proc.at_end():
                 proc.done = True
             else:
                 scheduler.push(proc.clock, proc.pid, proc.epoch)
-        while True:
-            entry = scheduler.pop()
-            if entry is None:
-                break
-            _, pid, epoch = entry
-            proc = self.processors[pid]
-            if proc.done or epoch != proc.epoch or proc.waiting_on is not None:
-                scheduler.note_stale_pop()
-                continue
-            self._step(proc)
-            if proc.done or proc.waiting_on is not None:
-                continue
-            scheduler.push(proc.clock, proc.pid, proc.epoch)
+        step = self._step
+        if self.metrics is None:
+            # Metrics-off fast path: drain the scheduler's heap directly.
+            # The pop/push ordering is bit-identical to the method path —
+            # only the per-entry counter bookkeeping is skipped, and the
+            # push total is credited in bulk afterwards.  Mid-step pushes
+            # (squash re-queues, waiter releases) go through
+            # scheduler.push into the same heap and are seen here.
+            heap = scheduler._heap
+            heappush_ = heapq.heappush
+            heappop_ = heapq.heappop
+            pushes = 0
+            while heap:
+                _, pid, epoch = heappop_(heap)
+                proc = processors[pid]
+                if proc.done or epoch != proc.epoch or proc.waiting_on is not None:
+                    continue
+                step(proc)
+                if proc.done or proc.waiting_on is not None:
+                    continue
+                heappush_(heap, (proc.clock, pid, proc.epoch))
+                pushes += 1
+            scheduler.account_bulk(pushes)
+        else:
+            while True:
+                entry = scheduler.pop()
+                if entry is None:
+                    break
+                _, pid, epoch = entry
+                proc = processors[pid]
+                if proc.done or epoch != proc.epoch or proc.waiting_on is not None:
+                    scheduler.note_stale_pop()
+                    continue
+                step(proc)
+                if proc.done or proc.waiting_on is not None:
+                    continue
+                scheduler.push(proc.clock, proc.pid, proc.epoch)
         self._scheduler = None
 
         stuck = [p.pid for p in self.processors if not p.done]
@@ -176,14 +202,34 @@ class TmSystem(SpecSystemCore):
     # ------------------------------------------------------------------
 
     def _step(self, proc: TmProcessor) -> None:
-        event = proc.trace.events[proc.cursor]
+        events = proc.trace.events
+        event = events[proc.cursor]
         kind = event.kind
         # Branches ordered by frequency: memory accesses dominate every
-        # workload, then compute bursts, then the rare txn markers.
+        # workload, then compute bursts, then the rare txn markers.  The
+        # access pre-check (formerly a separate _access method) is
+        # inlined into both branches: it sat two frames deep on the
+        # hottest path of the whole simulator.
         if kind is EventKind.LOAD:
-            self._access(proc, event, is_store=False)
+            if proc.txn is not None and self.scheme.eager_checks_loads:
+                stall_on = self.scheme.eager_check(
+                    self, proc, event.address, False
+                )
+                if stall_on is not None:
+                    self._note_stall(proc, stall_on)
+                    return
+            self._load(proc, event.address)
+            proc.cursor += 1
         elif kind is EventKind.STORE:
-            self._access(proc, event, is_store=True)
+            if proc.txn is not None:
+                stall_on = self.scheme.eager_check(
+                    self, proc, event.address, True
+                )
+                if stall_on is not None:
+                    self._note_stall(proc, stall_on)
+                    return
+            self._store(proc, event.address, event.value)
+            proc.cursor += 1
         elif kind is EventKind.COMPUTE:
             proc.clock += event.cycles
             proc.cursor += 1
@@ -193,7 +239,7 @@ class TmSystem(SpecSystemCore):
             self._end(proc)
         else:  # pragma: no cover - exhaustive over EventKind
             raise SimulationError(f"unhandled event kind {kind!r}")
-        if proc.cursor >= len(proc.trace.events) and proc.txn is None:
+        if proc.cursor >= proc.num_events and proc.txn is None:
             proc.done = True
             self._release_waiters(proc, proc.clock)
 
@@ -254,25 +300,16 @@ class TmSystem(SpecSystemCore):
     # Memory accesses
     # ------------------------------------------------------------------
 
-    def _access(self, proc: TmProcessor, event: MemEvent, is_store: bool) -> None:
-        if proc.txn is not None:
-            stall_on = self.scheme.eager_check(
-                self, proc, event.address, is_store
-            )
-            if stall_on is not None:
-                target = self.processors[stall_on]
-                if target.txn is None or target.done:
-                    # The conflicting transaction is already gone; retry.
-                    proc.clock += 1
-                    return
-                proc.waiting_on = stall_on
-                target.waiters.append(proc.pid)
-                return
-        if is_store:
-            self._store(proc, event.address, event.value)
-        else:
-            self._load(proc, event.address)
-        proc.cursor += 1
+    def _note_stall(self, proc: TmProcessor, stall_on: int) -> None:
+        """An eager check named a conflicting pid: stall behind it, or
+        retry next cycle if its transaction is already gone.  The caller
+        returns without running the access or advancing the cursor."""
+        target = self.processors[stall_on]
+        if target.txn is None or target.done:
+            proc.clock += 1
+            return
+        proc.waiting_on = stall_on
+        target.waiters.append(proc.pid)
 
     def _expected_value(self, proc: TmProcessor, word_address: int) -> int:
         if proc.txn is not None:
@@ -310,8 +347,13 @@ class TmSystem(SpecSystemCore):
         # Shifts inlined (== byte_to_word / byte_to_line): per-access path.
         word = byte_address >> WORD_SHIFT
         line_address = byte_address >> LINE_SHIFT
-        expected = self._expected_value(proc, word)
-        line = proc.cache.lookup(line_address)
+        # Cache.lookup inlined (same dict probe + LRU touch): this is the
+        # single hottest call site in the simulator.
+        cache = proc.cache
+        cache_set = cache._sets[line_address & cache._set_mask]
+        line = cache_set.get(line_address)
+        if line is not None:
+            cache_set.move_to_end(line_address)
         if line is not None and line.dirty and (
             self._coresident_spec_owner(proc, line_address) is not None
         ):
@@ -326,7 +368,15 @@ class TmSystem(SpecSystemCore):
             self.bus.record(MessageKind.FILL, now=proc.clock, port=proc.pid)
         elif line is not None:
             proc.clock += self.params.hit_cycles
-            observed = line.read_word(word)
+            observed = line.words[word & 0xF]  # == line.read_word(word)
+            # The stale-read oracle only matters on hits: the nack path
+            # serves from memory and the miss path rebuilds the line from
+            # memory + the thread's own log, so computing the expected
+            # value there was pure overhead (== _expected_value, inlined).
+            txn = proc.txn
+            expected = txn.lookup_word(word) if txn is not None else None
+            if expected is None:
+                expected = self.memory.load(word)
             if observed != expected:
                 raise SimulationError(
                     f"stale read: proc {proc.pid} loads word 0x{word:x} and "
@@ -335,22 +385,31 @@ class TmSystem(SpecSystemCore):
                 )
         else:
             self._miss_fill(proc, byte_address, line_address)
-        if proc.txn is not None:
-            proc.txn.record_load(byte_address)
+        txn = proc.txn
+        if txn is not None:
+            txn.record_load(byte_address)
             self.scheme.record_load(self, proc, byte_address)
 
     def _store(self, proc: TmProcessor, byte_address: int, value: int) -> None:
         line_address = byte_address >> LINE_SHIFT
-        if proc.txn is not None:
-            self.scheme.prepare_store(self, proc, line_address)
-            line = proc.cache.lookup(line_address)
+        txn = proc.txn
+        if txn is not None:
+            scheme = self.scheme
+            scheme.prepare_store(self, proc, line_address)
+            # Cache.lookup inlined (dict probe + LRU touch), as in _load.
+            cache = proc.cache
+            cache_set = cache._sets[line_address & cache._set_mask]
+            line = cache_set.get(line_address)
             if line is not None:
+                cache_set.move_to_end(line_address)
                 proc.clock += self.params.hit_cycles
             else:
                 line = self._miss_fill(proc, byte_address, line_address)
-            line.write_word(byte_address >> WORD_SHIFT, value)
-            proc.txn.record_store(byte_address, value)
-            self.scheme.record_store(self, proc, byte_address)
+            # == line.write_word(byte_address >> WORD_SHIFT, value)
+            line.words[(byte_address >> WORD_SHIFT) & 0xF] = value & 0xFFFFFFFF
+            line.dirty = True
+            txn.record_store(byte_address, value)
+            scheme.record_store(self, proc, byte_address)
             return
         # Non-speculative store: globally visible immediately.
         self._nonspec_store(proc, byte_address, value, line_address)
@@ -373,8 +432,12 @@ class TmSystem(SpecSystemCore):
                 if owner is not None and owner.owner != proc.pid:
                     self.squash_preempted_context(proc, owner)
         self.memory.store(word, value)
-        line = proc.cache.lookup(line_address)
+        # Cache.lookup inlined (dict probe + LRU touch), as in _load.
+        cache = proc.cache
+        cache_set = cache._sets[line_address & cache._set_mask]
+        line = cache_set.get(line_address)
         if line is not None:
+            cache_set.move_to_end(line_address)
             proc.clock += self.params.hit_cycles
         else:
             line = self._miss_fill(proc, byte_address, line_address)
@@ -401,7 +464,15 @@ class TmSystem(SpecSystemCore):
         for other in self.processors:
             if other is proc or other.cache is proc.cache:
                 continue
-            if other.cache.invalidate(line_address) is not None:
+            # Cache.invalidate inlined (dict pop + counter): this probe
+            # runs once per remote cache per non-speculative store and
+            # almost always comes back empty.
+            remote_cache = other.cache
+            popped = remote_cache._sets[
+                line_address & remote_cache._set_mask
+            ].pop(line_address, None)
+            if popped is not None:
+                remote_cache.stats.invalidations += 1
                 any_copy = True
         if any_copy:
             self.bus.record(
@@ -427,9 +498,12 @@ class TmSystem(SpecSystemCore):
                 return line
         words = list(self.memory.load_line(line_address))
         dirty = False
-        if proc.txn is not None:
+        if proc.txn is not None and line_address in proc.txn.all_write_lines():
             # Overlay the thread's own speculative values (a line may have
-            # been partially written, evicted, and refetched).
+            # been partially written, evicted, and refetched).  The
+            # write-lines test gates the 16-word merge: log keys' lines
+            # are exactly the write-lines set, so an uncovered line has
+            # nothing to overlay.
             log = proc.txn.merged_write_log()
             base = line_address << 4
             for offset in range(16):
@@ -449,7 +523,10 @@ class TmSystem(SpecSystemCore):
         for other in self.processors:
             if other is proc or other.cache is proc.cache:
                 continue
-            remote = other.cache.lookup(line_address, touch=False)
+            # Touch-free Cache.lookup inlined: this probe runs once per
+            # remote cache per miss and almost always comes back empty.
+            cache = other.cache
+            remote = cache._sets[line_address & cache._set_mask].get(line_address)
             if remote is None or not remote.dirty:
                 continue
             if self._spec_writer_of_line(other.cache, line_address) is not None:

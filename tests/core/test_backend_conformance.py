@@ -317,3 +317,173 @@ class TestBankConformance:
             probe.intersects(other) for other in others
         )
         assert backend.intersect_any(probe, []) is False
+
+
+# ----------------------------------------------------------------------
+# Codec conformance: decode / RLE / expansion kernels vs the scalar
+# reference.  The dispatch (Signature._codec) is exercised through the
+# public decode()/rle_encode()/rle_decode()/matched_lines() entry
+# points, so backends without a codec pass trivially via the fallback
+# and backends with one prove their kernels bit-exact.
+# ----------------------------------------------------------------------
+
+from repro.cache.cache import Cache  # noqa: E402
+from repro.cache.geometry import TLS_L1_GEOMETRY, TM_L1_GEOMETRY  # noqa: E402
+from repro.core.decode import DeltaDecoder  # noqa: E402
+from repro.core.expansion import matched_lines  # noqa: E402
+from repro.core.rle import (  # noqa: E402
+    rle_decode,
+    rle_decode_scalar_flat,
+    rle_encode_scalar,
+)
+from repro.core.signature_config import TABLE8_CHUNKS  # noqa: E402
+from repro.errors import TraceError  # noqa: E402
+
+GRANULARITIES = [Granularity.LINE, Granularity.WORD]
+
+
+def _random_addresses(rng, granularity, n):
+    return [rng.randrange(1 << granularity.address_bits) for _ in range(n)]
+
+
+class TestCodecConformance:
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_delta_decode_matches_scalar_every_table8_config(
+        self, backend, granularity
+    ):
+        """decoder.decode (codec-dispatched) == decode_scalar (reference)
+        over every Table 8 layout, both granularities, several set
+        counts — including empty and partially-empty registers."""
+        for name in TABLE8_CHUNKS:
+            config = table8_config(name, granularity)
+            rng = random.Random(hash((name, granularity.name)) & 0xFFFF)
+            for n in (0, 1, 40):
+                address_set = _random_addresses(rng, granularity, n)
+                ours = backend.from_addresses(config, address_set)
+                reference = REFERENCE.from_addresses(config, address_set)
+                for num_sets in (64, 512):
+                    decoder = DeltaDecoder(config, num_sets)
+                    assert decoder.decode(ours) == decoder.decode_scalar(
+                        reference
+                    ), (name, granularity, n, num_sets)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        st.sampled_from(CONFIG_NAMES),
+        st.sampled_from(GRANULARITIES),
+        address_sets,
+    )
+    def test_delta_decode_property(self, backend, name, granularity, address_set):
+        config = table8_config(name, granularity)
+        decoder = DeltaDecoder(config, 128)
+        ours = backend.from_addresses(config, address_set)
+        reference = REFERENCE.from_addresses(config, address_set)
+        assert decoder.decode(ours) == decoder.decode_scalar(reference)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        st.sampled_from(CONFIG_NAMES),
+        st.sampled_from(GRANULARITIES),
+        address_sets,
+    )
+    def test_rle_matches_scalar_and_round_trips(
+        self, backend, name, granularity, address_set
+    ):
+        config = table8_config(name, granularity)
+        ours = backend.from_addresses(config, address_set)
+        reference = REFERENCE.from_addresses(config, address_set)
+        codec = backend.codec
+        encoded = (
+            codec.rle_encode(ours)
+            if codec is not None
+            else rle_encode_scalar(ours)
+        )
+        assert encoded == rle_encode_scalar(reference)
+        decoded = rle_decode(config, encoded, backend=backend)
+        assert type(decoded) is backend.signature_class
+        assert decoded.to_flat_int() == reference.to_flat_int()
+        assert rle_decode_scalar_flat(config, encoded) == reference.to_flat_int()
+
+    def test_rle_error_parity(self, backend):
+        """Corrupted streams must raise the same TraceError text through
+        the backend's decode path as through the scalar reference."""
+        config = default_tm_config()
+        rng = random.Random(99)
+        signature = REFERENCE.from_addresses(
+            config, _random_addresses(rng, Granularity.LINE, 30)
+        )
+        valid = rle_encode_scalar(signature)
+        corrupted = [
+            valid[:-1],                      # truncated final varint
+            valid[: len(valid) // 2],        # truncated mid-stream
+            valid + b"\x00",                 # trailing bytes
+            b"",                             # empty stream
+            b"\x80",                         # lone continuation byte
+            b"\x01\xff\xff\x01",             # gap past the register
+            b"\x01" + b"\xff" * 9 + b"\x01", # >28-bit varint gap
+            b"\xff" * 9 + b"\x01",           # >28-bit varint count
+        ]
+        for data in corrupted:
+            try:
+                rle_decode_scalar_flat(config, data)
+                expected = None
+            except TraceError as error:
+                expected = str(error)
+            assert expected is not None, data
+            with pytest.raises(TraceError) as caught:
+                rle_decode(config, data, backend=backend)
+            assert str(caught.value) == expected, data
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_expansion_matches_scalar_every_table8_config(
+        self, backend, granularity
+    ):
+        """matched_lines through the backend's signature == through the
+        packed reference (scalar membership), for every Table 8 layout."""
+        geometry = (
+            TM_L1_GEOMETRY if granularity is Granularity.LINE else TLS_L1_GEOMETRY
+        )
+        cache = Cache(geometry)
+        rng = random.Random(4242)
+        cached_lines = [rng.getrandbits(22) for _ in range(300)]
+        for line_address in cached_lines:
+            cache.fill(line_address, tuple(range(16)))
+        for name in TABLE8_CHUNKS:
+            config = table8_config(name, granularity)
+            decoder = DeltaDecoder(config, geometry.num_sets)
+            address_set = _random_addresses(rng, granularity, 48)
+            if granularity is Granularity.WORD:
+                # Make some cached lines genuine members.
+                address_set += [
+                    (line << 4) | rng.randrange(16)
+                    for line in cached_lines[:8]
+                ]
+            else:
+                address_set += cached_lines[:8]
+            ours = backend.from_addresses(config, address_set)
+            reference = REFERENCE.from_addresses(config, address_set)
+            got = [
+                line.line_address
+                for _, line in matched_lines(ours, cache, decoder)
+            ]
+            want = [
+                line.line_address
+                for _, line in matched_lines(reference, cache, decoder)
+            ]
+            assert got == want, (name, granularity)
+            # No false negatives among *resident* lines (fills evict).
+            member_lines = {
+                config.granularity.line_of(a) for a in address_set
+            }
+            resident = {
+                line for line in member_lines if cache.contains(line)
+            }
+            assert resident <= set(want), (name, granularity)
